@@ -1,0 +1,166 @@
+package harmony_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the DESIGN.md ablations. Each benchmark replays the
+// corresponding experiment end-to-end (RSL -> controller -> simulated
+// substrate) and reports the headline quantity of that artifact as a
+// custom metric, so `go test -bench=. -benchmem` regenerates the paper's
+// rows/series. Absolute numbers differ from the authors' SP-2; the shapes
+// are asserted by internal/experiments tests.
+
+import (
+	"testing"
+
+	"harmony/internal/experiments"
+)
+
+func runExperiment(b *testing.B, run func() (*experiments.Result, error)) *experiments.Result {
+	b.Helper()
+	var res *experiments.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !res.Passed() {
+		b.Fatalf("shape checks failed:\n%s", res.Format())
+	}
+	return res
+}
+
+// BenchmarkTable1RSLTags regenerates Table 1: decoding a script exercising
+// every primary RSL tag.
+func BenchmarkTable1RSLTags(b *testing.B) {
+	runExperiment(b, experiments.RunTable1)
+}
+
+// BenchmarkFigure2aSimpleMatch regenerates Figure 2a: first-fit placement
+// of the "Simple" four-node application.
+func BenchmarkFigure2aSimpleMatch(b *testing.B) {
+	runExperiment(b, experiments.RunFigure2a)
+}
+
+// BenchmarkFigure2bBagPredict regenerates Figure 2b: parameterized
+// requirements and the piecewise-linear performance model of "Bag".
+func BenchmarkFigure2bBagPredict(b *testing.B) {
+	runExperiment(b, experiments.RunFigure2b)
+}
+
+// BenchmarkFigure3DBBundleEval regenerates Figure 3: decoding the
+// client-server database bundle and evaluating its parameterized link
+// formula across memory grants.
+func BenchmarkFigure3DBBundleEval(b *testing.B) {
+	runExperiment(b, experiments.RunFigure3)
+}
+
+// benchFigure4Config shrinks Figure 4 to benchmark-friendly scale while
+// keeping the paper's shape (5 -> 4/4 -> near-equal thirds on 8 nodes).
+func benchFigure4Config() experiments.Figure4Config {
+	cfg := experiments.DefaultFigure4Config()
+	cfg.Tasks = 30
+	return cfg
+}
+
+// BenchmarkFigure4aOnlineReconfig regenerates Figure 4a: iteration times of
+// the parallel application as competing jobs arrive. The reported metric is
+// the first uncontended iteration time (paper: the application-specific
+// model's value at the chosen parallelism).
+func BenchmarkFigure4aOnlineReconfig(b *testing.B) {
+	var firstIter float64
+	for i := 0; i < b.N; i++ {
+		res, out, err := experiments.RunFigure4Outcome(benchFigure4Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("shape checks failed:\n%s", res.Format())
+		}
+		if pts := out.Recorder.Series("job 1 time"); len(pts) > 0 {
+			firstIter = pts[0].Value
+		}
+	}
+	b.ReportMetric(firstIter, "iter1-s")
+}
+
+// BenchmarkFigure4bConfigChoices regenerates Figure 4b: the configurations
+// Harmony chooses as jobs arrive. The reported metrics are the final
+// partitions' extremes (equal partitions => spread 1 on 8 nodes).
+func BenchmarkFigure4bConfigChoices(b *testing.B) {
+	var minW, maxW float64
+	for i := 0; i < b.N; i++ {
+		res, out, err := experiments.RunFigure4Outcome(benchFigure4Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("shape checks failed:\n%s", res.Format())
+		}
+		minW, maxW = 1e18, 0
+		for _, w := range out.FinalWorkers {
+			if float64(w) < minW {
+				minW = float64(w)
+			}
+			if float64(w) > maxW {
+				maxW = float64(w)
+			}
+		}
+	}
+	b.ReportMetric(minW, "min-workers")
+	b.ReportMetric(maxW, "max-workers")
+}
+
+// benchFigure7Config shrinks the Wisconsin relations so one iteration of
+// the full client-server adaptation run fits a benchmark loop; phase
+// structure and the QS->DS crossover are preserved.
+func benchFigure7Config() experiments.Figure7Config {
+	cfg := experiments.DefaultFigure7Config()
+	cfg.TuplesPerRelation = 19000
+	cfg.ServerMemoryMB = 32
+	return cfg
+}
+
+// BenchmarkFigure7DatabaseAdaptation regenerates Figure 7: three database
+// clients arriving over time, the controller switching query processing
+// from the server to the clients. Reported metrics: the virtual time of
+// the reconfiguration and the single-client response time.
+func BenchmarkFigure7DatabaseAdaptation(b *testing.B) {
+	var switchAt, phase1 float64
+	for i := 0; i < b.N; i++ {
+		res, out, err := experiments.RunFigure7Outcome(benchFigure7Config())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Passed() {
+			b.Fatalf("shape checks failed:\n%s", res.Format())
+		}
+		switchAt = out.SwitchAt.Seconds()
+		if m, ok := out.Recorder.WindowMean("client 1", 0, 200e9); ok {
+			phase1 = m
+		}
+	}
+	b.ReportMetric(switchAt, "switch-s")
+	b.ReportMetric(phase1, "rt1-s")
+}
+
+// BenchmarkAblationFrictionalCost regenerates ablation A1: reconfiguration
+// counts with the frictional cost honored vs ignored under flapping load.
+func BenchmarkAblationFrictionalCost(b *testing.B) {
+	runExperiment(b, func() (*experiments.Result, error) {
+		return experiments.RunAblationFriction(experiments.DefaultAblationFrictionConfig())
+	})
+}
+
+// BenchmarkAblationGreedyVsExhaustive regenerates ablation A2: the greedy
+// one-bundle-at-a-time policy vs the exhaustive cross-product search.
+func BenchmarkAblationGreedyVsExhaustive(b *testing.B) {
+	runExperiment(b, experiments.RunAblationSearch)
+}
+
+// BenchmarkAblationDefaultVsExplicitModel regenerates ablation A3: the
+// default CPU+communication model vs an application-supplied explicit
+// model on the Bag workload.
+func BenchmarkAblationDefaultVsExplicitModel(b *testing.B) {
+	runExperiment(b, experiments.RunAblationModel)
+}

@@ -1,0 +1,66 @@
+// Command harmonyctl inspects and pokes a running Harmony server.
+//
+// Usage:
+//
+//	harmonyctl [-addr host:9989] status      # list applications + objective
+//	harmonyctl [-addr host:9989] reevaluate  # force an optimizer pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "harmonyctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harmonyctl", flag.ContinueOnError)
+	addr := fs.String("addr", fmt.Sprintf("127.0.0.1:%d", harmony.DefaultPort), "Harmony server address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := "status"
+	if fs.NArg() > 0 {
+		cmd = fs.Arg(0)
+	}
+	client, err := harmony.Dial(*addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch cmd {
+	case "status":
+		apps, objective, err := client.Status()
+		if err != nil {
+			return err
+		}
+		if len(apps) == 0 {
+			fmt.Println("no applications registered")
+			return nil
+		}
+		fmt.Printf("%-10s %-12s %-10s %-8s %10s %8s  %s\n",
+			"instance", "app", "bundle", "option", "predicted", "switches", "hosts")
+		for _, a := range apps {
+			fmt.Printf("%-10d %-12s %-10s %-8s %9.2fs %8d  %v\n",
+				a.Instance, a.App, a.Bundle, a.Option, a.PredictedSeconds, a.Switches, a.Hosts)
+		}
+		fmt.Printf("objective: %.3f\n", objective)
+		return nil
+	case "reevaluate":
+		if err := client.Reevaluate(); err != nil {
+			return err
+		}
+		fmt.Println("re-evaluation triggered")
+		return nil
+	}
+	return fmt.Errorf("unknown command %q (want status or reevaluate)", cmd)
+}

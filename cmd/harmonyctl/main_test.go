@@ -1,0 +1,49 @@
+package main
+
+import (
+	"testing"
+
+	"harmony"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	cl, err := harmony.NewSP2Cluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := harmony.NewClock()
+	ctrl, err := harmony.NewController(harmony.ControllerConfig{Cluster: cl, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := harmony.ListenAndServe("127.0.0.1:0", harmony.ServerConfig{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctrl.Stop()
+		clock.Stop()
+	})
+	return srv.Addr()
+}
+
+func TestStatusAgainstLiveServer(t *testing.T) {
+	addr := startServer(t)
+	if err := run([]string{"-addr", addr, "status"}); err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "reevaluate"}); err != nil {
+		t.Fatalf("reevaluate: %v", err)
+	}
+	if err := run([]string{"-addr", addr, "bogus"}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if err := run([]string{"-addr", "127.0.0.1:1", "status"}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}

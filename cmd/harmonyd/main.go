@@ -1,0 +1,171 @@
+// Command harmonyd runs the Harmony server process (Section 5 of the
+// paper): it builds the managed cluster from an RSL resource file (or a
+// simulated SP-2), starts the adaptation controller, and listens on the
+// well-known port for Harmony-aware applications.
+//
+// Usage:
+//
+//	harmonyd [-addr :9989] [-sp2 8 | -resources cluster.rsl]
+//	         [-objective mean] [-reeval 30s] [-exhaustive]
+//
+// The resource file contains harmonyNode declarations, e.g.
+//
+//	harmonyNode fast.cs.umd.edu {speed 2.5} {memory 256} {os linux}
+//	harmonyNode slow.cs.umd.edu {speed 0.8} {memory 64} {os linux}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"harmony"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal("harmonyd: ", err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("harmonyd", flag.ContinueOnError)
+	addr := fs.String("addr", fmt.Sprintf(":%d", harmony.DefaultPort), "listen address")
+	sp2 := fs.Int("sp2", 0, "build a simulated n-node SP-2 cluster")
+	resources := fs.String("resources", "", "RSL file of harmonyNode declarations")
+	objectiveName := fs.String("objective", "mean", "objective function: mean|total|throughput|max|weighted")
+	reeval := fs.Duration("reeval", 30*time.Second, "periodic re-evaluation interval (virtual time; 0 disables)")
+	exhaustive := fs.Bool("exhaustive", false, "use the exhaustive optimizer instead of greedy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cl *harmony.Cluster
+	switch {
+	case *sp2 > 0 && *resources != "":
+		return fmt.Errorf("use either -sp2 or -resources, not both")
+	case *sp2 > 0:
+		var err error
+		cl, err = harmony.NewSP2Cluster(*sp2)
+		if err != nil {
+			return err
+		}
+	case *resources != "":
+		src, err := os.ReadFile(*resources)
+		if err != nil {
+			return err
+		}
+		bundles, decls, err := harmony.DecodeScript(string(src))
+		if err != nil {
+			return err
+		}
+		if len(bundles) > 0 {
+			return fmt.Errorf("%s: resource files may only contain harmonyNode declarations", *resources)
+		}
+		if len(decls) == 0 {
+			return fmt.Errorf("%s: no harmonyNode declarations", *resources)
+		}
+		cl, err = harmony.NewCluster(harmony.ClusterConfig{}, decls)
+		if err != nil {
+			return err
+		}
+	default:
+		var err error
+		cl, err = harmony.NewSP2Cluster(8)
+		if err != nil {
+			return err
+		}
+		log.Print("harmonyd: no cluster given; using a simulated 8-node SP-2")
+	}
+
+	obj, err := harmony.ObjectiveByName(*objectiveName)
+	if err != nil {
+		return err
+	}
+	clock := harmony.NewClock()
+	defer clock.Stop()
+	ctrl, err := harmony.NewController(harmony.ControllerConfig{
+		Cluster:        cl,
+		Clock:          clock,
+		Objective:      obj,
+		Bus:            harmony.NewMetricBus(0),
+		ReevalInterval: *reeval,
+		Exhaustive:     *exhaustive,
+	})
+	if err != nil {
+		return err
+	}
+	defer ctrl.Stop()
+	if err := ctrl.Start(); err != nil {
+		return err
+	}
+	if err := ctrl.Subscribe(func(ev harmony.Event) {
+		kind := "reconfigured"
+		if ev.Initial {
+			kind = "admitted"
+		}
+		log.Printf("harmonyd: %s %s.%d -> %s (predicted %.2fs)",
+			kind, ev.App, ev.Instance, ev.Choice, ev.PredictedSeconds)
+	}); err != nil {
+		return err
+	}
+
+	bus := harmony.NewMetricBus(0)
+	sensors, err := harmony.ClusterSensors(cl)
+	if err != nil {
+		return err
+	}
+	srv, err := harmony.ListenAndServe(*addr, harmony.ServerConfig{
+		Controller: ctrl,
+		Bus:        bus,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := srv.Close(); cerr != nil {
+			log.Printf("harmonyd: close: %v", cerr)
+		}
+	}()
+	log.Printf("harmonyd: managing %d nodes, listening on %s", cl.Size(), srv.Addr())
+
+	// The controller runs on virtual time; in the daemon, wall time drives
+	// it one-to-one, which fires periodic re-evaluation and granularity
+	// windows, and polls the cluster sensors ("updates in Harmony are on
+	// the order of seconds not micro-seconds", Section 3.1).
+	stopTicker := make(chan struct{})
+	tickerDone := make(chan struct{})
+	go func() {
+		defer close(tickerDone)
+		start := time.Now()
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				now := time.Since(start)
+				clock.AdvanceTo(now)
+				if err := harmony.PollSensors(bus, now, sensors); err != nil {
+					log.Printf("harmonyd: sensors: %v", err)
+				}
+			case <-stopTicker:
+				return
+			}
+		}
+	}()
+	defer func() {
+		close(stopTicker)
+		<-tickerDone
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("harmonyd: shutting down")
+	return nil
+}

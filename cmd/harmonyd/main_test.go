@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFlagValidation(t *testing.T) {
+	if err := run([]string{"-sp2", "4", "-resources", "x.rsl", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("-sp2 with -resources accepted")
+	}
+	if err := run([]string{"-objective", "bogus", "-sp2", "1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("bogus objective accepted")
+	}
+	if err := run([]string{"-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestResourcesFileErrors(t *testing.T) {
+	if err := run([]string{"-resources", "/no/such/file.rsl", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("missing resources file accepted")
+	}
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.rsl")
+	if err := os.WriteFile(empty, []byte("# nothing here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-resources", empty, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("empty resources file accepted")
+	}
+	withBundle := filepath.Join(dir, "bundle.rsl")
+	if err := os.WriteFile(withBundle, []byte("harmonyBundle A:1 b {{O {node n *}}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-resources", withBundle, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("bundle in resources file accepted")
+	}
+	bad := filepath.Join(dir, "bad.rsl")
+	if err := os.WriteFile(bad, []byte("harmonyNode { unclosed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-resources", bad, "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("unparsable resources file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Command hbench regenerates the paper's tables and figures on the
+// simulated substrate and prints the rows/series each reports, together
+// with PASS/FAIL shape checks.
+//
+// Usage:
+//
+//	hbench            # run every experiment (T1 F2a F2b F3 F4 F7 A1 A2 A3)
+//	hbench F7 A1      # run selected experiments
+//	hbench -list      # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"harmony/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return nil
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		res, err := experiments.ByID(id)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		fmt.Println(res.Format())
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) had failing shape checks", failed)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package harmony is an implementation of Active Harmony as described in
+// "Exposing Application Alternatives" (Keleher, Hollingsworth, Perkovic;
+// ICDCS 1999): a centralized adaptation controller to which applications
+// export tuning alternatives — bundles of mutually exclusive options with
+// quantified resource requirements — written in the Harmony resource
+// specification language (RSL). The controller matches requirements to
+// cluster resources, predicts response times, and reconfigures running
+// applications to optimize a global objective function.
+//
+// The package is a facade over the building blocks in internal/:
+//
+//   - RSL parsing and decoding (internal/rsl)
+//   - the hierarchical namespace (internal/namespace)
+//   - resource model, cluster and first-fit matching (internal/resource,
+//     internal/cluster, internal/match)
+//   - performance prediction and objectives (internal/predict,
+//     internal/objective)
+//   - the adaptation controller (internal/core)
+//   - the TCP server and client runtime library (internal/server,
+//     internal/hclient) implementing the paper's Figure 5 API
+//   - simulated substrate: virtual clock, processor-sharing resources, a
+//     miniature Wisconsin-benchmark database, and a bag-of-tasks
+//     application (internal/simclock, internal/procsim, internal/minidb,
+//     internal/bag)
+//
+// Quickstart (see examples/quickstart for the full program):
+//
+//	cluster, _ := harmony.NewSP2Cluster(4)
+//	ctrl, _ := harmony.NewController(harmony.ControllerConfig{
+//		Cluster: cluster,
+//		Clock:   harmony.NewClock(),
+//	})
+//	srv, _ := harmony.ListenAndServe("127.0.0.1:0", harmony.ServerConfig{Controller: ctrl})
+//	defer srv.Close()
+//
+//	client, _ := harmony.Dial(srv.Addr())
+//	defer client.Close()
+//	client.Startup("Simple", true)
+//	instance, _ := client.BundleSetup(`harmonyBundle Simple:1 config {
+//		{only {node worker * {seconds 300} {memory 32} {replicate 4}}}
+//	}`)
+package harmony
+
+import (
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/hclient"
+	"harmony/internal/match"
+	"harmony/internal/metric"
+	"harmony/internal/namespace"
+	"harmony/internal/objective"
+	"harmony/internal/predict"
+	"harmony/internal/protocol"
+	"harmony/internal/rsl"
+	"harmony/internal/server"
+	"harmony/internal/simclock"
+)
+
+// Core controller types.
+type (
+	// Controller is the Harmony adaptation controller (Section 2).
+	Controller = core.Controller
+	// ControllerConfig parameterizes NewController.
+	ControllerConfig = core.Config
+	// Choice is one concrete configuration of a bundle.
+	Choice = core.Choice
+	// Event describes a reconfiguration decision.
+	Event = core.Event
+	// Snapshot describes one application's current state.
+	Snapshot = core.Snapshot
+)
+
+// Cluster and clock types.
+type (
+	// Cluster is the set of managed machines.
+	Cluster = cluster.Cluster
+	// ClusterConfig parameterizes NewCluster.
+	ClusterConfig = cluster.Config
+	// Clock is the discrete-event virtual clock driving adaptation.
+	Clock = simclock.Clock
+)
+
+// RSL types.
+type (
+	// BundleSpec is a decoded harmonyBundle.
+	BundleSpec = rsl.BundleSpec
+	// OptionSpec is one mutually exclusive alternative.
+	OptionSpec = rsl.OptionSpec
+	// NodeDecl is a decoded harmonyNode resource declaration.
+	NodeDecl = rsl.NodeDecl
+)
+
+// Client/server types (the paper's Figure 5/6 prototype).
+type (
+	// Server is the Harmony server process.
+	Server = server.Server
+	// ServerConfig parameterizes ListenAndServe.
+	ServerConfig = server.Config
+	// Client is the application-side runtime library.
+	Client = hclient.Client
+	// Variable is a Harmony variable handle.
+	Variable = hclient.Variable
+	// VarValue is a Harmony variable value.
+	VarValue = protocol.VarValue
+	// AppStatus is one application's state in a status reply.
+	AppStatus = protocol.AppStatus
+)
+
+// Matching and prediction policy types.
+type (
+	// MatchStrategy orders candidate nodes during matching (first-fit,
+	// best-fit, worst-fit).
+	MatchStrategy = match.Strategy
+	// CriticalPathParams tunes the serialized occupancy+wire communication
+	// model (the Section 3.4 refinement).
+	CriticalPathParams = predict.CriticalPathParams
+)
+
+// Matching strategies.
+const (
+	// FirstFit is the paper's policy (Section 4.1).
+	FirstFit = match.FirstFit
+	// BestFit packs tightly to avoid fragmentation.
+	BestFit = match.BestFit
+	// WorstFit balances residual capacity.
+	WorstFit = match.WorstFit
+)
+
+// MatchStrategyByName resolves a strategy ("first-fit", "best-fit",
+// "worst-fit").
+func MatchStrategyByName(name string) (MatchStrategy, error) {
+	return match.StrategyByName(name)
+}
+
+// Supporting types.
+type (
+	// Namespace is the hierarchical controller/application namespace.
+	Namespace = namespace.Tree
+	// MetricBus is the metric interface's sample bus.
+	MetricBus = metric.Bus
+	// ObjectiveFunc reduces per-job predictions to one value to minimize.
+	ObjectiveFunc = objective.Func
+)
+
+// DefaultPort is the Harmony server's well-known TCP port.
+const DefaultPort = protocol.DefaultPort
+
+// NewClock returns a virtual clock starting at zero.
+func NewClock() *Clock { return simclock.New() }
+
+// NewController builds an adaptation controller.
+func NewController(cfg ControllerConfig) (*Controller, error) { return core.New(cfg) }
+
+// NewCluster builds a cluster from harmonyNode declarations.
+func NewCluster(cfg ClusterConfig, decls []*NodeDecl) (*Cluster, error) {
+	return cluster.New(cfg, decls)
+}
+
+// NewSP2Cluster builds an n-node simulated IBM SP-2, the paper's testbed.
+func NewSP2Cluster(n int) (*Cluster, error) { return cluster.NewSP2(n) }
+
+// NewMetricBus builds a metric bus retaining up to limit samples per metric
+// (a default limit when limit <= 0).
+func NewMetricBus(limit int) *MetricBus { return metric.NewBus(limit) }
+
+// MetricSensor samples one quantity into the bus when polled.
+type MetricSensor = metric.Sensor
+
+// ClusterSensors builds the standard node/link/switch sensor set for a
+// cluster (the paper's Figure 1 metric interface inputs).
+func ClusterSensors(cl *Cluster) ([]MetricSensor, error) { return metric.ClusterSensors(cl) }
+
+// PollSensors records one observation from each sensor at virtual time now.
+func PollSensors(bus *MetricBus, now time.Duration, sensors []MetricSensor) error {
+	return metric.Poll(bus, now, sensors)
+}
+
+// ListenAndServe starts a Harmony server on addr.
+func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
+	return server.Listen(addr, cfg)
+}
+
+// Dial connects an application to a Harmony server (harmony_startup and
+// friends live on the returned Client).
+func Dial(addr string) (*Client, error) { return hclient.Dial(addr) }
+
+// DecodeScript parses an RSL script into bundles and node declarations.
+func DecodeScript(src string) ([]*BundleSpec, []*NodeDecl, error) {
+	return rsl.DecodeScript(src)
+}
+
+// ObjectiveByName resolves a built-in objective function ("mean", "total",
+// "throughput", "max", "weighted").
+func ObjectiveByName(name string) (ObjectiveFunc, error) { return objective.ByName(name) }
+
+// NumVar builds a numeric Harmony variable value.
+func NumVar(v float64) VarValue { return protocol.NumVar(v) }
+
+// StrVar builds a string Harmony variable value.
+func StrVar(s string) VarValue { return protocol.StrVar(s) }

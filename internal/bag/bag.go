@@ -1,0 +1,279 @@
+// Package bag implements the paper's "Bag" application (Section 3.4): an
+// iterative bag-of-tasks parallel program. Computation is divided into
+// possibly differently-sized tasks; each worker repeatedly requests a task
+// from the server, computes, returns the result, and requests more. The
+// application exploits varying amounts of parallelism and reconfigures only
+// at outer-iteration boundaries — exactly the granularity story the paper
+// uses to motivate the RSL granularity tag.
+package bag
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"harmony/internal/procsim"
+	"harmony/internal/simclock"
+)
+
+// Config parameterizes an application instance.
+type Config struct {
+	// Clock drives the simulation. Required.
+	Clock *simclock.Clock
+	// TotalWork is the reference-CPU seconds of one iteration's bag. The
+	// paper's Figure 2b interface assumes this is constant across worker
+	// counts (seconds parameterized as 300/workerNodes).
+	TotalWork float64
+	// Tasks is the number of tasks the bag is divided into.
+	Tasks int
+	// TaskSkew spreads task sizes: 0 makes them uniform, 1 draws sizes
+	// from an exponential-ish distribution ("relatively crude
+	// load-balancing on arbitrarily-shaped tasks").
+	TaskSkew float64
+	// PerTaskCommBytes is the request+result traffic per task.
+	PerTaskCommBytes int
+	// Link optionally models the shared interconnect; nil skips
+	// communication delays.
+	Link *procsim.Resource
+	// Seed makes task sizes reproducible.
+	Seed int64
+}
+
+// App is one bag-of-tasks application instance.
+type App struct {
+	cfg   Config
+	sizes []float64
+
+	mu         sync.Mutex
+	iterations int
+}
+
+// New validates the configuration and pre-draws task sizes.
+func New(cfg Config) (*App, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("bag: config needs a clock")
+	}
+	if cfg.TotalWork <= 0 {
+		return nil, fmt.Errorf("bag: total work %g must be positive", cfg.TotalWork)
+	}
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("bag: task count %d must be >= 1", cfg.Tasks)
+	}
+	if cfg.TaskSkew < 0 || cfg.TaskSkew > 1 {
+		return nil, fmt.Errorf("bag: skew %g must be in [0,1]", cfg.TaskSkew)
+	}
+	app := &App{cfg: cfg}
+	app.sizes = drawSizes(cfg)
+	return app, nil
+}
+
+// drawSizes produces task demands summing exactly to TotalWork.
+func drawSizes(cfg Config) []float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	weights := make([]float64, cfg.Tasks)
+	sum := 0.0
+	for i := range weights {
+		w := 1.0
+		if cfg.TaskSkew > 0 {
+			w = (1 - cfg.TaskSkew) + cfg.TaskSkew*rng.ExpFloat64()
+		}
+		if w <= 0 {
+			w = 1e-6
+		}
+		weights[i] = w
+		sum += w
+	}
+	sizes := make([]float64, cfg.Tasks)
+	for i, w := range weights {
+		sizes[i] = cfg.TotalWork * w / sum
+	}
+	return sizes
+}
+
+// TaskSizes copies the per-task demands.
+func (a *App) TaskSizes() []float64 {
+	out := make([]float64, len(a.sizes))
+	copy(out, a.sizes)
+	return out
+}
+
+// Iterations reports completed iterations.
+func (a *App) Iterations() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.iterations
+}
+
+// IterationResult describes one completed iteration.
+type IterationResult struct {
+	// Workers is the parallelism used.
+	Workers int
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+	// TasksRun counts tasks processed (== Tasks).
+	TasksRun int
+}
+
+// Elapsed is Finished - Started.
+func (r IterationResult) Elapsed() time.Duration { return r.Finished - r.Started }
+
+// RunIteration executes one iteration of the bag on the given worker CPUs
+// (one per assigned node; CPUs may be shared with other applications,
+// which is how contention arises). Workers pull tasks dynamically; done
+// fires when the last task completes. The worker set is fixed for the
+// iteration — reconfiguration happens between iterations.
+func (a *App) RunIteration(cpus []*procsim.Resource, done func(IterationResult)) error {
+	if len(cpus) == 0 {
+		return errors.New("bag: iteration needs at least one worker")
+	}
+	if done == nil {
+		return errors.New("bag: nil completion callback")
+	}
+	start := a.cfg.Clock.Now()
+	state := &iterState{
+		app:     a,
+		cpus:    cpus,
+		start:   start,
+		done:    done,
+		pending: len(a.sizes),
+	}
+	// Seed one puller per worker.
+	for i := range cpus {
+		worker := i
+		if !state.pull(worker) {
+			break
+		}
+	}
+	return nil
+}
+
+type iterState struct {
+	app  *App
+	cpus []*procsim.Resource
+
+	mu      sync.Mutex
+	next    int
+	pending int
+	start   time.Duration
+	done    func(IterationResult)
+}
+
+// pull hands the next task to worker w; reports false when the bag is
+// empty.
+func (s *iterState) pull(w int) bool {
+	s.mu.Lock()
+	if s.next >= len(s.app.sizes) {
+		s.mu.Unlock()
+		return false
+	}
+	task := s.next
+	s.next++
+	s.mu.Unlock()
+
+	demand := s.app.sizes[task]
+	runTask := func() {
+		err := s.cpus[w].Submit(demand, func(at time.Duration) {
+			s.complete(w, at)
+		})
+		if err != nil {
+			// Clock stopped; abandon the iteration.
+			_ = err
+		}
+	}
+	if s.app.cfg.Link != nil && s.app.cfg.PerTaskCommBytes > 0 {
+		// Request + result traffic precedes the computation.
+		err := s.app.cfg.Link.Submit(float64(s.app.cfg.PerTaskCommBytes), func(time.Duration) {
+			runTask()
+		})
+		if err != nil {
+			return false
+		}
+		return true
+	}
+	runTask()
+	return true
+}
+
+// complete retires one task and pulls the next, finishing the iteration
+// when the bag drains.
+func (s *iterState) complete(w int, at time.Duration) {
+	s.mu.Lock()
+	s.pending--
+	finished := s.pending == 0
+	s.mu.Unlock()
+	if finished {
+		s.app.mu.Lock()
+		s.app.iterations++
+		s.app.mu.Unlock()
+		s.done(IterationResult{
+			Workers:  len(s.cpus),
+			Started:  s.start,
+			Finished: at,
+			TasksRun: len(s.app.sizes),
+		})
+		return
+	}
+	s.pull(w)
+}
+
+// PerfModel produces the {nodes time} data points for the RSL performance
+// tag by analytically evaluating ideal (uncontended) iteration times: total
+// work divided among w workers plus a per-task serial communication cost
+// that grows with parallelism. It mirrors the paper's observation that
+// "Bag" is a domain where communication grows much faster than
+// computation.
+func PerfModel(totalWork float64, tasks int, commSecondsPerWorkerSq float64, workerCounts []int) ([]Point, error) {
+	if totalWork <= 0 || tasks < 1 {
+		return nil, fmt.Errorf("bag: bad model inputs work=%g tasks=%d", totalWork, tasks)
+	}
+	points := make([]Point, 0, len(workerCounts))
+	for _, w := range workerCounts {
+		if w < 1 {
+			return nil, fmt.Errorf("bag: bad worker count %d", w)
+		}
+		compute := totalWork / float64(w)
+		comm := commSecondsPerWorkerSq * float64(w*w)
+		points = append(points, Point{Workers: w, Seconds: compute + comm})
+	}
+	return points, nil
+}
+
+// Point is one performance-model data point.
+type Point struct {
+	// Workers is the parallelism.
+	Workers int
+	// Seconds is the projected iteration time.
+	Seconds float64
+}
+
+// RSLPerformanceList renders points as the RSL performance tag body, e.g.
+// "{1 300} {2 160}".
+func RSLPerformanceList(points []Point) string {
+	out := ""
+	for i, p := range points {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("{%d %g}", p.Workers, p.Seconds)
+	}
+	return out
+}
+
+// WorkerCPUs builds one full-speed CPU per worker on the clock, named
+// after the assigned hosts; a convenience for examples and benches.
+func WorkerCPUs(clock *simclock.Clock, hosts []string, speed float64) ([]*procsim.Resource, error) {
+	if speed <= 0 {
+		return nil, fmt.Errorf("bag: speed %g must be positive", speed)
+	}
+	cpus := make([]*procsim.Resource, 0, len(hosts))
+	for _, h := range hosts {
+		r, err := procsim.New("cpu."+h, clock, speed)
+		if err != nil {
+			return nil, err
+		}
+		cpus = append(cpus, r)
+	}
+	return cpus, nil
+}

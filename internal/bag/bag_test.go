@@ -1,0 +1,296 @@
+package bag
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harmony/internal/procsim"
+	"harmony/internal/simclock"
+)
+
+func newApp(t *testing.T, cfg Config) (*App, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New()
+	cfg.Clock = clock
+	app, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return app, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	clock := simclock.New()
+	cases := []Config{
+		{TotalWork: 1, Tasks: 1},                              // nil clock
+		{Clock: clock, TotalWork: 0, Tasks: 1},                // no work
+		{Clock: clock, TotalWork: 1, Tasks: 0},                // no tasks
+		{Clock: clock, TotalWork: 1, Tasks: 1, TaskSkew: 1.5}, // bad skew
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestTaskSizesSumToTotalWork(t *testing.T) {
+	app, _ := newApp(t, Config{TotalWork: 300, Tasks: 57, TaskSkew: 0.8, Seed: 3})
+	sizes := app.TaskSizes()
+	if len(sizes) != 57 {
+		t.Fatalf("tasks = %d", len(sizes))
+	}
+	sum := 0.0
+	for _, s := range sizes {
+		if s <= 0 {
+			t.Fatalf("non-positive task size %g", s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-300) > 1e-9 {
+		t.Fatalf("sizes sum = %g, want 300", sum)
+	}
+}
+
+func TestSingleWorkerIterationTime(t *testing.T) {
+	app, clock := newApp(t, Config{TotalWork: 100, Tasks: 10})
+	cpus, err := WorkerCPUs(clock, []string{"n1"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res IterationResult
+	if err := app.RunIteration(cpus, func(r IterationResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if res.TasksRun != 10 || res.Workers != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := res.Elapsed(); got < 99*time.Second || got > 101*time.Second {
+		t.Fatalf("elapsed = %v, want ~100s", got)
+	}
+	if app.Iterations() != 1 {
+		t.Fatalf("iterations = %d", app.Iterations())
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	elapsed := func(workers int) time.Duration {
+		app, clock := newApp(t, Config{TotalWork: 400, Tasks: 80, Seed: 1})
+		hosts := make([]string, workers)
+		for i := range hosts {
+			hosts[i] = string(rune('a' + i))
+		}
+		cpus, err := WorkerCPUs(clock, hosts, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res IterationResult
+		if err := app.RunIteration(cpus, func(r IterationResult) { res = r }); err != nil {
+			t.Fatal(err)
+		}
+		clock.RunAll()
+		return res.Elapsed()
+	}
+	t1 := elapsed(1)
+	t4 := elapsed(4)
+	speedup := t1.Seconds() / t4.Seconds()
+	if speedup < 3.5 || speedup > 4.1 {
+		t.Fatalf("4-worker speedup = %.2f (t1=%v t4=%v)", speedup, t1, t4)
+	}
+}
+
+func TestSkewedTasksStillBalance(t *testing.T) {
+	// Dynamic pulling load-balances even with skewed sizes: 4 workers on
+	// 100 skewed tasks should finish well under 2x the ideal time.
+	app, clock := newApp(t, Config{TotalWork: 400, Tasks: 100, TaskSkew: 1, Seed: 9})
+	cpus, err := WorkerCPUs(clock, []string{"a", "b", "c", "d"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res IterationResult
+	if err := app.RunIteration(cpus, func(r IterationResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	ideal := 100 * time.Second
+	if res.Elapsed() < ideal || res.Elapsed() > 2*ideal {
+		t.Fatalf("skewed elapsed = %v, ideal %v", res.Elapsed(), ideal)
+	}
+}
+
+func TestSharedCPUContention(t *testing.T) {
+	// Two apps on the same single CPU take twice as long.
+	clock := simclock.New()
+	cpu, err := procsim.New("cpu", clock, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(seed int64) *App {
+		app, err := New(Config{Clock: clock, TotalWork: 50, Tasks: 5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return app
+	}
+	var r1, r2 IterationResult
+	if err := mk(1).RunIteration([]*procsim.Resource{cpu}, func(r IterationResult) { r1 = r }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk(2).RunIteration([]*procsim.Resource{cpu}, func(r IterationResult) { r2 = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	last := r1.Finished
+	if r2.Finished > last {
+		last = r2.Finished
+	}
+	if last < 99*time.Second || last > 101*time.Second {
+		t.Fatalf("two 50s bags on one CPU finished at %v, want ~100s", last)
+	}
+}
+
+func TestCommunicationDelaysIteration(t *testing.T) {
+	clock := simclock.New()
+	link, err := procsim.New("link", clock, 1000) // 1000 bytes/s
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := New(Config{
+		Clock:            clock,
+		TotalWork:        10,
+		Tasks:            10,
+		PerTaskCommBytes: 1000, // 1 s per task over the link
+		Link:             link,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpus, err := WorkerCPUs(clock, []string{"a"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res IterationResult
+	if err := app.RunIteration(cpus, func(r IterationResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	// 10 s compute + 10×1 s communication, serialized on one worker.
+	if res.Elapsed() < 19*time.Second || res.Elapsed() > 21*time.Second {
+		t.Fatalf("elapsed with comm = %v, want ~20s", res.Elapsed())
+	}
+}
+
+func TestRunIterationValidation(t *testing.T) {
+	app, clock := newApp(t, Config{TotalWork: 1, Tasks: 1})
+	if err := app.RunIteration(nil, func(IterationResult) {}); err == nil {
+		t.Fatal("no workers accepted")
+	}
+	cpus, err := WorkerCPUs(clock, []string{"a"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := app.RunIteration(cpus, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+func TestWorkerCPUsValidation(t *testing.T) {
+	clock := simclock.New()
+	if _, err := WorkerCPUs(clock, []string{"a"}, 0); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	cpus, err := WorkerCPUs(clock, []string{"a", "b"}, 2.0)
+	if err != nil || len(cpus) != 2 {
+		t.Fatalf("cpus = %v, %v", cpus, err)
+	}
+	if cpus[0].Name() != "cpu.a" {
+		t.Fatalf("name = %s", cpus[0].Name())
+	}
+}
+
+func TestPerfModel(t *testing.T) {
+	pts, err := PerfModel(300, 60, 0.5, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %v", pts)
+	}
+	// 1 worker: 300 + 0.5; 8 workers: 37.5 + 32.
+	if math.Abs(pts[0].Seconds-300.5) > 1e-9 {
+		t.Fatalf("p1 = %+v", pts[0])
+	}
+	if math.Abs(pts[3].Seconds-69.5) > 1e-9 {
+		t.Fatalf("p8 = %+v", pts[3])
+	}
+	// Communication-dominated regime has a minimum between 1 and 8.
+	best := pts[0]
+	for _, p := range pts {
+		if p.Seconds < best.Seconds {
+			best = p
+		}
+	}
+	if best.Workers == 1 {
+		t.Fatal("model has no parallel benefit")
+	}
+	if _, err := PerfModel(0, 1, 0, []int{1}); err == nil {
+		t.Fatal("bad work accepted")
+	}
+	if _, err := PerfModel(1, 1, 0, []int{0}); err == nil {
+		t.Fatal("bad worker count accepted")
+	}
+	s := RSLPerformanceList(pts)
+	if !strings.HasPrefix(s, "{1 300.5} {2 ") {
+		t.Fatalf("RSL list = %q", s)
+	}
+}
+
+// Property: iteration time on w idle workers is within [W/w, W/w + max
+// task size] — the classic list-scheduling bound.
+func TestPropertyListSchedulingBound(t *testing.T) {
+	f := func(seed int64, wRaw, tRaw uint8) bool {
+		workers := int(wRaw%8) + 1
+		tasks := int(tRaw%50) + workers
+		clock := simclock.New()
+		app, err := New(Config{
+			Clock:     clock,
+			TotalWork: 100,
+			Tasks:     tasks,
+			TaskSkew:  1,
+			Seed:      seed,
+		})
+		if err != nil {
+			return false
+		}
+		hosts := make([]string, workers)
+		for i := range hosts {
+			hosts[i] = string(rune('a' + i))
+		}
+		cpus, err := WorkerCPUs(clock, hosts, 1.0)
+		if err != nil {
+			return false
+		}
+		var res IterationResult
+		if err := app.RunIteration(cpus, func(r IterationResult) { res = r }); err != nil {
+			return false
+		}
+		clock.RunAll()
+		maxTask := 0.0
+		for _, s := range app.TaskSizes() {
+			if s > maxTask {
+				maxTask = s
+			}
+		}
+		lower := 100.0 / float64(workers)
+		upper := lower + maxTask + 1e-6
+		got := res.Elapsed().Seconds()
+		return got >= lower-1e-6 && got <= upper
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

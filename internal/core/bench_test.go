@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/rsl"
+	"harmony/internal/simclock"
+)
+
+func benchController(b *testing.B, nodes int, cfg Config) *Controller {
+	b.Helper()
+	cl, err := cluster.NewSP2(nodes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Cluster = cl
+	cfg.Clock = simclock.New()
+	ctrl, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ctrl
+}
+
+func benchBundle(b *testing.B, src string) *rsl.BundleSpec {
+	b.Helper()
+	bundles, _, err := rsl.DecodeScript(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundles[0]
+}
+
+const benchDBBundle = `
+harmonyBundle DBclient:1 where {
+	{QS
+		{node server sp2-01 {seconds 5} {memory 20}}
+		{node client * {seconds 1} {memory 2}}
+		{link client server 2}
+	}
+	{DS
+		{node server sp2-01 {seconds 1} {memory 20}}
+		{node client * {memory >=17} {seconds 10}}
+		{link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}
+	}
+}`
+
+const benchBagBundle = `
+harmonyBundle Bag:1 parallelism {
+	{workers
+		{variable workerNodes {1 2 4 8}}
+		{node worker * {seconds {300 / workerNodes}} {memory 32} {replicate workerNodes} {exclusive 1}}
+		{performance {{1 300} {2 160} {4 90} {8 70}}}
+	}
+}`
+
+func BenchmarkRegisterUnregisterDB(b *testing.B) {
+	ctrl := benchController(b, 4, Config{})
+	defer ctrl.Stop()
+	bundle := benchBundle(b, benchDBBundle)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst, _, err := ctrl.Register(bundle)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ctrl.Unregister(inst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReevaluateGreedy(b *testing.B) {
+	ctrl := benchController(b, 8, Config{})
+	defer ctrl.Stop()
+	for i := 0; i < 2; i++ {
+		if _, _, err := ctrl.Register(benchBundle(b, benchBagBundle)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Reevaluate()
+	}
+}
+
+func BenchmarkReevaluateExhaustive(b *testing.B) {
+	ctrl := benchController(b, 8, Config{Exhaustive: true})
+	defer ctrl.Stop()
+	for i := 0; i < 2; i++ {
+		if _, _, err := ctrl.Register(benchBundle(b, benchBagBundle)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Reevaluate()
+	}
+}
+
+func BenchmarkForceChoice(b *testing.B) {
+	ctrl := benchController(b, 4, Config{})
+	defer ctrl.Stop()
+	inst, _, err := ctrl.Register(benchBundle(b, benchDBBundle))
+	if err != nil {
+		b.Fatal(err)
+	}
+	options := []string{"DS", "QS"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctrl.ForceChoice(inst, Choice{Option: options[i%2]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,635 @@
+// Package core implements Harmony's adaptation controller — "the heart of
+// the system" (Section 2 of "Exposing Application Alternatives"). The
+// controller gathers information about applications and the environment,
+// projects the effects of proposed changes, and weighs competing costs and
+// expected benefits. Applications export tuning bundles; the controller
+// chooses among exported options to optimize an overarching objective
+// function (mean response time by default), re-evaluating existing
+// applications whenever jobs enter or leave the system and on a periodic
+// basis (Sections 4.2-4.3), subject to frictional switching costs and
+// granularity constraints.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/match"
+	"harmony/internal/metric"
+	"harmony/internal/namespace"
+	"harmony/internal/objective"
+	"harmony/internal/predict"
+	"harmony/internal/resource"
+	"harmony/internal/rsl"
+	"harmony/internal/simclock"
+)
+
+// Errors reported by the controller.
+var (
+	// ErrUnknownInstance is returned for operations on unregistered apps.
+	ErrUnknownInstance = errors.New("core: unknown application instance")
+	// ErrNoFeasibleOption is returned when no option of a bundle fits.
+	ErrNoFeasibleOption = errors.New("core: no feasible option")
+)
+
+// Choice is one concrete configuration of a bundle: an option plus values
+// for its variables and memory grants above declared minima.
+type Choice struct {
+	// Option is the chosen option name.
+	Option string
+	// Vars binds each option variable (e.g. workerNodes) to a value.
+	Vars map[string]float64
+	// Grants raises OpMin memory tags, keyed by option-local node name.
+	Grants map[string]float64
+}
+
+// Equal reports whether two choices configure the application identically.
+func (c Choice) Equal(o Choice) bool {
+	if c.Option != o.Option || len(c.Vars) != len(o.Vars) || len(c.Grants) != len(o.Grants) {
+		return false
+	}
+	for k, v := range c.Vars {
+		if o.Vars[k] != v {
+			return false
+		}
+	}
+	for k, v := range c.Grants {
+		if o.Grants[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the choice compactly.
+func (c Choice) String() string {
+	s := c.Option
+	keys := make([]string, 0, len(c.Vars))
+	for k := range c.Vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s=%g", k, c.Vars[k])
+	}
+	keys = keys[:0]
+	for k := range c.Grants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		s += fmt.Sprintf(" %s.memory=%g", k, c.Grants[k])
+	}
+	return s
+}
+
+// Event describes a configuration decision delivered to listeners (and,
+// through the server, to the application's Harmony variables).
+type Event struct {
+	// Instance is the controller-assigned application instance id.
+	Instance int
+	// App and Bundle identify the reconfigured bundle.
+	App, Bundle string
+	// Choice is the new configuration.
+	Choice Choice
+	// Assignment is the concrete resource placement.
+	Assignment *match.Assignment
+	// PredictedSeconds is the controller's response-time projection.
+	PredictedSeconds float64
+	// At is the virtual time of the decision.
+	At time.Duration
+	// Initial marks the first configuration after registration.
+	Initial bool
+}
+
+// Listener receives reconfiguration events. Callbacks run on the goroutine
+// that triggered the re-evaluation, after the controller lock is released.
+type Listener func(Event)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Cluster provides the resources under management. Required.
+	Cluster *cluster.Cluster
+	// Clock drives granularity gating and periodic re-evaluation. Required.
+	Clock *simclock.Clock
+	// Objective is minimized across all applications; default
+	// objective.MeanResponseTime.
+	Objective objective.Func
+	// Bus optionally receives decision and prediction metrics.
+	Bus *metric.Bus
+	// ReevalInterval schedules periodic re-evaluation on the clock when
+	// positive ("we continue this process on a periodic basis").
+	ReevalInterval time.Duration
+	// GrantSteps are the memory increments (MB) tried above OpMin minima;
+	// default {0, 8, 16, 32}.
+	GrantSteps []float64
+	// Exhaustive switches the optimizer from the paper's greedy
+	// one-bundle-at-a-time policy to a full cross-product search (used by
+	// the A2 ablation).
+	Exhaustive bool
+	// IgnoreFriction disables frictional-cost gating so every nominal
+	// improvement triggers a switch (the A1 ablation baseline).
+	IgnoreFriction bool
+	// Strategy selects the matcher's node-ordering policy (first-fit by
+	// default; best-fit/worst-fit implement the fragmentation-avoiding
+	// policies Section 4.1 names as future work).
+	Strategy match.Strategy
+	// UseCriticalPath replaces the default multiplicative communication
+	// model with the serialized occupancy+wire-time refinement of
+	// Section 3.4 for options without an explicit performance model.
+	UseCriticalPath bool
+	// CriticalPathParams tunes the critical-path model; zero value takes
+	// predict.DefaultCriticalPathParams.
+	CriticalPathParams predict.CriticalPathParams
+}
+
+type appState struct {
+	instance     int
+	bundle       *rsl.BundleSpec
+	choice       Choice
+	assignment   *match.Assignment
+	claim        *resource.Claim
+	predicted    float64
+	lastSwitch   time.Duration
+	registeredAt time.Duration
+	switches     int
+}
+
+func (a *appState) owner() string {
+	return namespace.InstancePath(a.bundle.App, a.instance)
+}
+
+// Controller is the Harmony adaptation controller.
+type Controller struct {
+	cfg       Config
+	ledger    *resource.Ledger
+	matcher   *match.Matcher
+	predictor *predict.Predictor
+	ns        *namespace.Tree
+
+	mu           sync.Mutex
+	apps         map[int]*appState
+	order        []int // registration order (lexical evaluation order)
+	nextInstance int
+	listeners    []Listener
+	reevalTimer  simclock.EventID
+	stopped      bool
+}
+
+// New builds a controller over the cluster. The clock is not started here;
+// callers drive it (or call Start to schedule periodic re-evaluation).
+func New(cfg Config) (*Controller, error) {
+	if cfg.Cluster == nil {
+		return nil, errors.New("core: config needs a cluster")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("core: config needs a clock")
+	}
+	if cfg.Objective == nil {
+		cfg.Objective = objective.MeanResponseTime
+	}
+	if cfg.GrantSteps == nil {
+		cfg.GrantSteps = []float64{0, 8, 16, 32}
+	}
+	if cfg.CriticalPathParams == (predict.CriticalPathParams{}) {
+		cfg.CriticalPathParams = predict.DefaultCriticalPathParams()
+	}
+	ledger := cfg.Cluster.Ledger()
+	matcher := match.New(ledger)
+	if cfg.Strategy != 0 {
+		if err := matcher.SetStrategy(cfg.Strategy); err != nil {
+			return nil, err
+		}
+	}
+	return &Controller{
+		cfg:       cfg,
+		ledger:    ledger,
+		matcher:   matcher,
+		predictor: predict.New(ledger),
+		ns:        namespace.New(),
+		apps:      make(map[int]*appState),
+	}, nil
+}
+
+// predictOption routes a prediction through the configured model stack:
+// the application's explicit model when present (the Table 1 "performance"
+// tag), otherwise the critical-path refinement when enabled, otherwise the
+// default contention model.
+func (c *Controller) predictOption(opt *rsl.OptionSpec, asg *match.Assignment, selfReserved bool) (predict.Prediction, error) {
+	if opt != nil && len(opt.Performance) > 0 {
+		return c.predictor.Explicit(opt.Performance, asg, selfReserved)
+	}
+	if c.cfg.UseCriticalPath {
+		return c.predictor.CriticalPath(asg, selfReserved, c.cfg.CriticalPathParams)
+	}
+	return c.predictor.ForOption(opt, asg, selfReserved)
+}
+
+// SetObjective replaces the objective function at runtime ("in the future
+// we plan to investigate other objective functions", Section 4.2). The
+// next re-evaluation optimizes the new objective.
+func (c *Controller) SetObjective(fn objective.Func) error {
+	if fn == nil {
+		return errors.New("core: nil objective")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Objective = fn
+	return nil
+}
+
+// Namespace exposes the controller's shared namespace (Section 3.2).
+func (c *Controller) Namespace() *namespace.Tree { return c.ns }
+
+// Subscribe registers a reconfiguration listener for all applications.
+func (c *Controller) Subscribe(fn Listener) error {
+	if fn == nil {
+		return errors.New("core: nil listener")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+	return nil
+}
+
+// Start schedules periodic re-evaluation on the clock when configured.
+func (c *Controller) Start() error {
+	if c.cfg.ReevalInterval <= 0 {
+		return nil
+	}
+	return c.scheduleReeval()
+}
+
+func (c *Controller) scheduleReeval() error {
+	id, err := c.cfg.Clock.ScheduleAfter(c.cfg.ReevalInterval, func(time.Duration) {
+		c.Reevaluate()
+		c.mu.Lock()
+		stopped := c.stopped
+		c.mu.Unlock()
+		if !stopped {
+			_ = c.scheduleReeval()
+		}
+	})
+	if err != nil {
+		if errors.Is(err, simclock.ErrStopped) {
+			return nil
+		}
+		return fmt.Errorf("core: schedule reeval: %w", err)
+	}
+	c.mu.Lock()
+	c.reevalTimer = id
+	c.mu.Unlock()
+	return nil
+}
+
+// Stop cancels periodic re-evaluation. Registered applications keep their
+// resources; Stop only quiesces the controller.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	c.stopped = true
+	timer := c.reevalTimer
+	c.mu.Unlock()
+	if timer != 0 {
+		c.cfg.Clock.Cancel(timer)
+	}
+}
+
+// Register admits an application bundle (harmony_bundle_setup): the
+// controller assigns an instance id, picks the best feasible choice for the
+// new bundle while holding existing applications fixed, reserves resources,
+// and then re-evaluates the options of existing applications (Section 4.3).
+// The returned events start with the new application's initial
+// configuration, followed by any reconfigurations of existing applications.
+func (c *Controller) Register(bundle *rsl.BundleSpec) (int, []Event, error) {
+	if bundle == nil || len(bundle.Options) == 0 {
+		return 0, nil, errors.New("core: bundle with no options")
+	}
+	c.mu.Lock()
+	c.nextInstance++
+	inst := c.nextInstance
+	now := c.cfg.Clock.Now()
+	app := &appState{
+		instance:     inst,
+		bundle:       bundle,
+		registeredAt: now,
+		lastSwitch:   -1,
+	}
+
+	var events []Event
+	best, err := c.bestChoiceLocked(app, now, true)
+	if err == nil {
+		ev, aerr := c.adoptLocked(app, best, now, true)
+		if aerr != nil {
+			c.nextInstance--
+			c.mu.Unlock()
+			return 0, nil, aerr
+		}
+		c.apps[inst] = app
+		c.order = append(c.order, inst)
+		events = append(events, ev)
+
+		// "After defining the initial options for a new application, we
+		// re-evaluate the options for existing applications."
+		events = append(events, c.reevaluateLocked(now, inst)...)
+	} else if errors.Is(err, ErrNoFeasibleOption) && len(c.order) > 0 {
+		// Nothing fits while existing applications hold their resources:
+		// change existing allocations to accommodate the new application
+		// ("applications written to Harmony's interface ... enable changing
+		// existing resource allocations in order to accommodate new
+		// applications", Section 1). A joint search over all bundles finds
+		// the accommodation.
+		c.apps[inst] = app
+		c.order = append(c.order, inst)
+		events = c.reevaluateExhaustiveLocked(now, 0)
+		if app.claim == nil {
+			// Even the joint search could not place it: roll back.
+			delete(c.apps, inst)
+			c.order = c.order[:len(c.order)-1]
+			c.nextInstance--
+			c.mu.Unlock()
+			return 0, nil, err
+		}
+		for i := range events {
+			if events[i].Instance == inst {
+				events[i].Initial = true
+			}
+		}
+	} else {
+		c.nextInstance--
+		c.mu.Unlock()
+		return 0, nil, err
+	}
+	listeners := append([]Listener(nil), c.listeners...)
+	c.mu.Unlock()
+
+	c.publish(listeners, events)
+	return inst, events, nil
+}
+
+// Unregister removes an application (harmony_end), releases its resources
+// and re-evaluates the remaining applications.
+func (c *Controller) Unregister(instance int) ([]Event, error) {
+	c.mu.Lock()
+	app, ok := c.apps[instance]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownInstance, instance)
+	}
+	if app.claim != nil {
+		if err := c.ledger.Release(app.claim.ID); err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: release on unregister: %w", err)
+		}
+	}
+	_ = c.ns.Delete(app.owner())
+	delete(c.apps, instance)
+	for i, id := range c.order {
+		if id == instance {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	now := c.cfg.Clock.Now()
+	events := c.reevaluateLocked(now, 0)
+	listeners := append([]Listener(nil), c.listeners...)
+	c.mu.Unlock()
+
+	c.publish(listeners, events)
+	return events, nil
+}
+
+// Reevaluate runs one pass of the paper's greedy optimization over all
+// registered applications (triggered by events or periodically).
+func (c *Controller) Reevaluate() []Event {
+	c.mu.Lock()
+	now := c.cfg.Clock.Now()
+	events := c.reevaluateLocked(now, 0)
+	listeners := append([]Listener(nil), c.listeners...)
+	c.mu.Unlock()
+	c.publish(listeners, events)
+	return events
+}
+
+func (c *Controller) publish(listeners []Listener, events []Event) {
+	for _, ev := range events {
+		for _, fn := range listeners {
+			fn(ev)
+		}
+		if c.cfg.Bus != nil {
+			name := fmt.Sprintf("%s.%d.predicted", ev.App, ev.Instance)
+			_ = c.cfg.Bus.ReportValue(name, ev.PredictedSeconds, ev.At)
+		}
+	}
+}
+
+// Objective reports the current objective value over predicted times.
+func (c *Controller) Objective() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Objective(c.jobsLocked())
+}
+
+// Snapshot describes one application's current state.
+type Snapshot struct {
+	// Instance, App, Bundle identify the application.
+	Instance int
+	App      string
+	Bundle   string
+	// Choice is the current configuration.
+	Choice Choice
+	// Hosts are the machines in use.
+	Hosts []string
+	// PredictedSeconds is the latest projection.
+	PredictedSeconds float64
+	// Switches counts reconfigurations since registration.
+	Switches int
+}
+
+// Apps lists registered applications in registration order.
+func (c *Controller) Apps() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Snapshot, 0, len(c.order))
+	for _, id := range c.order {
+		a := c.apps[id]
+		out = append(out, Snapshot{
+			Instance:         a.instance,
+			App:              a.bundle.App,
+			Bundle:           a.bundle.Name,
+			Choice:           a.choice,
+			Hosts:            a.assignment.Hosts(),
+			PredictedSeconds: a.predicted,
+			Switches:         a.switches,
+		})
+	}
+	return out
+}
+
+// CurrentChoice reports an application's active configuration.
+func (c *Controller) CurrentChoice(instance int) (Choice, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	app, ok := c.apps[instance]
+	if !ok {
+		return Choice{}, fmt.Errorf("%w: %d", ErrUnknownInstance, instance)
+	}
+	return app.choice, nil
+}
+
+// ForceChoice imposes a specific configuration on an application,
+// bypassing the optimizer. The paper's database experiment (Section 6)
+// drives reconfiguration this way: "the controller was configured with a
+// simple rule for changing configurations based on the number of active
+// clients". Forcing the already-active choice is a no-op.
+func (c *Controller) ForceChoice(instance int, ch Choice) (*Event, error) {
+	c.mu.Lock()
+	app, ok := c.apps[instance]
+	if !ok {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %d", ErrUnknownInstance, instance)
+	}
+	if app.choice.Equal(ch) {
+		c.mu.Unlock()
+		return nil, nil
+	}
+	if app.bundle.Option(ch.Option) == nil {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: option %q not in bundle %s", ch.Option, app.bundle.Name)
+	}
+	prevClaim := app.claim
+	if prevClaim != nil {
+		if err := c.ledger.Release(prevClaim.ID); err != nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("core: release for force: %w", err)
+		}
+	}
+	now := c.cfg.Clock.Now()
+	cand, err := c.evaluateChoiceLocked(app, ch)
+	if err != nil {
+		if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
+			app.claim = claim
+		}
+		c.mu.Unlock()
+		return nil, fmt.Errorf("core: force choice: %w", err)
+	}
+	ev, err := c.adoptLocked(app, cand, now, false)
+	if err != nil {
+		if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
+			app.claim = claim
+		}
+		c.mu.Unlock()
+		return nil, err
+	}
+	listeners := append([]Listener(nil), c.listeners...)
+	c.mu.Unlock()
+	c.publish(listeners, []Event{ev})
+	return &ev, nil
+}
+
+// ActiveInstances reports the registered instance ids of one application
+// name (e.g. all DBclient instances), in registration order.
+func (c *Controller) ActiveInstances(appName string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for _, id := range c.order {
+		if c.apps[id].bundle.App == appName {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// jobsLocked builds objective inputs from current predictions.
+func (c *Controller) jobsLocked() []objective.JobPrediction {
+	jobs := make([]objective.JobPrediction, 0, len(c.order))
+	for _, id := range c.order {
+		a := c.apps[id]
+		jobs = append(jobs, objective.JobPrediction{App: a.owner(), Seconds: a.predicted})
+	}
+	return jobs
+}
+
+// refreshPredictionsLocked recomputes every application's predicted time
+// against current ledger state (all claims reserved).
+func (c *Controller) refreshPredictionsLocked() {
+	for _, id := range c.order {
+		a := c.apps[id]
+		opt := a.bundle.Option(a.choice.Option)
+		pred, err := c.predictOption(opt, a.assignment, true)
+		if err == nil {
+			a.predicted = pred.Seconds
+		}
+	}
+}
+
+// adoptLocked commits a choice for app: reserves resources, updates the
+// namespace and returns the event. The app's previous claim (if any) must
+// already be released by the caller.
+func (c *Controller) adoptLocked(app *appState, cand candidate, now time.Duration, initial bool) (Event, error) {
+	claim, err := c.matcher.Reserve(app.owner(), cand.assignment)
+	if err != nil {
+		return Event{}, err
+	}
+	app.claim = claim
+	app.assignment = cand.assignment
+	if !initial && !app.choice.Equal(cand.choice) {
+		app.switches++
+		app.lastSwitch = now
+	}
+	if initial {
+		app.lastSwitch = now
+	}
+	app.choice = cand.choice
+	c.refreshPredictionsLocked()
+	opt := app.bundle.Option(cand.choice.Option)
+	if pred, err := c.predictOption(opt, cand.assignment, true); err == nil {
+		app.predicted = pred.Seconds
+	}
+	c.writeNamespaceLocked(app)
+	return Event{
+		Instance:         app.instance,
+		App:              app.bundle.App,
+		Bundle:           app.bundle.Name,
+		Choice:           cand.choice,
+		Assignment:       cand.assignment,
+		PredictedSeconds: app.predicted,
+		At:               now,
+		Initial:          initial,
+	}, nil
+}
+
+// writeNamespaceLocked publishes the app's configuration into the shared
+// namespace using the paper's layout:
+// application.instance.bundle.option plus per-resource tags.
+func (c *Controller) writeNamespaceLocked(app *appState) {
+	base := app.owner() + "." + app.bundle.Name
+	_ = c.ns.Delete(base)
+	_ = c.ns.SetStr(base+".option", app.choice.Option)
+	optBase := base + "." + app.choice.Option
+	for k, v := range app.choice.Vars {
+		_ = c.ns.SetNum(optBase+"."+k, v)
+	}
+	counts := make(map[string]int)
+	for _, n := range app.assignment.Nodes {
+		counts[n.LocalName]++
+	}
+	seen := make(map[string]int)
+	for _, n := range app.assignment.Nodes {
+		local := n.LocalName
+		if counts[local] > 1 {
+			seen[local]++
+			local = local + "." + strconv.Itoa(seen[local])
+		}
+		p := optBase + "." + local
+		_ = c.ns.SetStr(p+".node", n.Hostname)
+		_ = c.ns.SetNum(p+".memory", n.MemoryMB)
+		_ = c.ns.SetNum(p+".seconds", n.Seconds)
+	}
+	_ = c.ns.SetNum(app.owner()+".predicted", app.predicted)
+}

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"harmony/internal/match"
+	"harmony/internal/objective"
+	"harmony/internal/rsl"
+)
+
+// candidate is one evaluated configuration: a choice plus its matched
+// placement and the system objective value with the candidate reserved.
+type candidate struct {
+	choice     choiceKey
+	assignment *match.Assignment
+	objective  float64
+	predicted  float64
+	friction   float64
+}
+
+// choiceKey aliases Choice for internal plumbing.
+type choiceKey = Choice
+
+// enumerateChoices expands a bundle into concrete choices: for each option,
+// the cross product of its variable values, times the memory-grant ladder
+// for OpMin memory tags (Section 3.5: ">= 32 tells Harmony that ...
+// additional memory can be used profitably as well").
+func (c *Controller) enumerateChoices(bundle *rsl.BundleSpec) []Choice {
+	var out []Choice
+	for i := range bundle.Options {
+		opt := &bundle.Options[i]
+		varSets := expandVariables(opt.Variables)
+		grantSets := c.expandGrants(opt, varSets)
+		for _, vars := range varSets {
+			for _, grants := range grantSets {
+				out = append(out, Choice{Option: opt.Name, Vars: vars, Grants: grants})
+			}
+		}
+	}
+	return out
+}
+
+// expandVariables builds the cross product of variable value sets. A bundle
+// option with no variables yields the single empty binding.
+func expandVariables(specs []rsl.VariableSpec) []map[string]float64 {
+	sets := []map[string]float64{nil}
+	for _, vs := range specs {
+		next := make([]map[string]float64, 0, len(sets)*len(vs.Values))
+		for _, base := range sets {
+			for _, v := range vs.Values {
+				m := make(map[string]float64, len(base)+1)
+				for k, bv := range base {
+					m[k] = bv
+				}
+				m[vs.Name] = v
+				next = append(next, m)
+			}
+		}
+		sets = next
+	}
+	return sets
+}
+
+// expandGrants builds memory-grant alternatives for every node spec whose
+// memory tag is a minimum constraint. The ladder is minimum + each
+// configured step; one combined map per step keeps the search linear.
+func (c *Controller) expandGrants(opt *rsl.OptionSpec, varSets []map[string]float64) []map[string]float64 {
+	var minNodes []string
+	mins := make(map[string]float64)
+	env := rsl.MapEnv(nil)
+	if len(varSets) > 0 && varSets[0] != nil {
+		env = varSets[0]
+	}
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		tag, ok := spec.Tags["memory"]
+		if !ok || tag.IsString || tag.Op != rsl.OpMin {
+			continue
+		}
+		v, err := tag.EvalNum(env)
+		if err != nil {
+			continue
+		}
+		minNodes = append(minNodes, spec.LocalName)
+		mins[spec.LocalName] = v
+	}
+	if len(minNodes) == 0 {
+		return []map[string]float64{nil}
+	}
+	out := make([]map[string]float64, 0, len(c.cfg.GrantSteps))
+	for _, step := range c.cfg.GrantSteps {
+		g := make(map[string]float64, len(minNodes))
+		for _, name := range minNodes {
+			g[name] = mins[name] + step
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// evaluateChoiceLocked trial-reserves one choice for app (whose own claim
+// must currently be released) and computes the system objective with every
+// other application's claim in place. It restores the ledger before
+// returning.
+func (c *Controller) evaluateChoiceLocked(app *appState, ch Choice) (candidate, error) {
+	opt := app.bundle.Option(ch.Option)
+	if opt == nil {
+		return candidate{}, fmt.Errorf("core: option %q not in bundle", ch.Option)
+	}
+	env := rsl.MapEnv(ch.Vars)
+	asg, err := c.matcher.Match(match.Request{
+		Option:       opt,
+		Env:          env,
+		MemoryGrants: ch.Grants,
+	})
+	if err != nil {
+		return candidate{}, err
+	}
+	claim, err := c.matcher.Reserve(app.owner(), asg)
+	if err != nil {
+		return candidate{}, err
+	}
+	defer func() { _ = c.ledger.Release(claim.ID) }()
+
+	pred, err := c.predictOption(opt, asg, true)
+	if err != nil {
+		return candidate{}, err
+	}
+
+	jobs := make([]objective.JobPrediction, 0, len(c.order)+1)
+	for _, id := range c.order {
+		other := c.apps[id]
+		if other == app {
+			continue
+		}
+		otherOpt := other.bundle.Option(other.choice.Option)
+		op, err := c.predictOption(otherOpt, other.assignment, true)
+		if err != nil {
+			return candidate{}, err
+		}
+		jobs = append(jobs, objective.JobPrediction{App: other.owner(), Seconds: op.Seconds})
+	}
+	jobs = append(jobs, objective.JobPrediction{App: app.owner(), Seconds: pred.Seconds})
+
+	friction := 0.0
+	if opt.Friction != nil {
+		if f, err := opt.Friction.Eval(rsl.ChainEnv{asg.MemoryEnv(), env}); err == nil && f > 0 {
+			friction = f
+		}
+	}
+	return candidate{
+		choice:     ch,
+		assignment: asg,
+		objective:  c.cfg.Objective(jobs),
+		predicted:  pred.Seconds,
+		friction:   friction,
+	}, nil
+}
+
+// bestChoiceLocked finds the objective-minimizing feasible choice for app.
+// The app's claim must already be released. When forInitial is true, the
+// friction of the chosen option is not charged (nothing is switching).
+func (c *Controller) bestChoiceLocked(app *appState, now time.Duration, forInitial bool) (candidate, error) {
+	choices := c.enumerateChoices(app.bundle)
+	best := candidate{objective: math.Inf(1)}
+	found := false
+	var lastErr error
+	for _, ch := range choices {
+		cand, err := c.evaluateChoiceLocked(app, ch)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		score := cand.objective
+		if !forInitial && !ch.Equal(app.choice) && !c.cfg.IgnoreFriction {
+			// Amortize the frictional switching cost into the objective: a
+			// switch must buy more improvement than it costs (Section 3,
+			// "frictional cost function ... to evaluate if a tuning option
+			// is worth the effort").
+			n := len(c.order)
+			if n == 0 {
+				n = 1
+			}
+			score += cand.friction / float64(n)
+		}
+		if score < best.objective {
+			best = cand
+			best.objective = score
+			found = true
+		}
+	}
+	if !found {
+		if lastErr != nil {
+			return candidate{}, fmt.Errorf("%w for %s: %v", ErrNoFeasibleOption, app.bundle.App, lastErr)
+		}
+		return candidate{}, fmt.Errorf("%w for %s", ErrNoFeasibleOption, app.bundle.App)
+	}
+	return best, nil
+}
+
+// reevaluateLocked runs the optimizer over registered applications in
+// registration (lexical) order, skipping skipInstance (a just-registered
+// app). It returns events for every application whose choice changed.
+func (c *Controller) reevaluateLocked(now time.Duration, skipInstance int) []Event {
+	if c.cfg.Exhaustive {
+		return c.reevaluateExhaustiveLocked(now, skipInstance)
+	}
+	var events []Event
+	for _, id := range append([]int(nil), c.order...) {
+		app, ok := c.apps[id]
+		if !ok || id == skipInstance {
+			continue
+		}
+		// Granularity gate: the application told us how often it can absorb
+		// a change (Table 1, "granularity" tag).
+		if !c.granularityAllowsLocked(app, now) {
+			continue
+		}
+		prev := app.choice
+		prevClaim := app.claim
+		if prevClaim != nil {
+			if err := c.ledger.Release(prevClaim.ID); err != nil {
+				continue
+			}
+		}
+		best, err := c.bestChoiceLocked(app, now, false)
+		if err != nil || best.choice.Equal(prev) {
+			// Restore the previous reservation.
+			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
+				app.claim = claim
+			}
+			c.refreshPredictionsLocked()
+			continue
+		}
+		ev, err := c.adoptLocked(app, best, now, false)
+		if err != nil {
+			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
+				app.claim = claim
+			}
+			continue
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// granularityAllowsLocked checks the option's declared switching rate.
+func (c *Controller) granularityAllowsLocked(app *appState, now time.Duration) bool {
+	opt := app.bundle.Option(app.choice.Option)
+	if opt == nil || opt.Granularity == nil || app.lastSwitch < 0 {
+		return true
+	}
+	g, err := opt.Granularity.Eval(rsl.MapEnv(app.choice.Vars))
+	if err != nil || g <= 0 {
+		return true
+	}
+	return now-app.lastSwitch >= time.Duration(g*float64(time.Second))
+}
+
+// reevaluateExhaustiveLocked searches the full cross product of all
+// applications' choices (the A2 ablation baseline). Exponential: intended
+// for small systems only.
+func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance int) []Event {
+	ids := make([]int, 0, len(c.order))
+	for _, id := range c.order {
+		if id != skipInstance {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	// Release every movable app, then search.
+	for _, id := range ids {
+		app := c.apps[id]
+		if app.claim != nil {
+			_ = c.ledger.Release(app.claim.ID)
+			app.claim = nil
+		}
+	}
+	perApp := make([][]Choice, len(ids))
+	for i, id := range ids {
+		perApp[i] = c.enumerateChoices(c.apps[id].bundle)
+	}
+
+	bestScore := math.Inf(1)
+	var bestCombo []candidate
+
+	var walk func(i int, acc []candidate)
+	walk = func(i int, acc []candidate) {
+		if i == len(ids) {
+			score := 0.0
+			jobs := make([]objective.JobPrediction, 0, len(acc))
+			for _, cd := range acc {
+				jobs = append(jobs, objective.JobPrediction{Seconds: cd.predicted})
+			}
+			// Fixed (skipped) apps still count toward the objective.
+			if skipInstance != 0 {
+				if fixed, ok := c.apps[skipInstance]; ok {
+					jobs = append(jobs, objective.JobPrediction{Seconds: fixed.predicted})
+				}
+			}
+			score = c.cfg.Objective(jobs)
+			if !c.cfg.IgnoreFriction {
+				for j, cd := range acc {
+					if !cd.choice.Equal(c.apps[ids[j]].choice) {
+						score += cd.friction / float64(len(jobs))
+					}
+				}
+			}
+			if score < bestScore {
+				bestScore = score
+				bestCombo = append([]candidate(nil), acc...)
+			}
+			return
+		}
+		app := c.apps[ids[i]]
+		for _, ch := range perApp[i] {
+			opt := app.bundle.Option(ch.Option)
+			asg, err := c.matcher.Match(match.Request{Option: opt, Env: rsl.MapEnv(ch.Vars), MemoryGrants: ch.Grants})
+			if err != nil {
+				continue
+			}
+			claim, err := c.matcher.Reserve(app.owner(), asg)
+			if err != nil {
+				continue
+			}
+			pred, err := c.predictOption(opt, asg, true)
+			if err != nil {
+				_ = c.ledger.Release(claim.ID)
+				continue
+			}
+			friction := 0.0
+			if opt.Friction != nil {
+				if f, ferr := opt.Friction.Eval(rsl.ChainEnv{asg.MemoryEnv(), rsl.MapEnv(ch.Vars)}); ferr == nil && f > 0 {
+					friction = f
+				}
+			}
+			walk(i+1, append(acc, candidate{choice: ch, assignment: asg, predicted: pred.Seconds, friction: friction}))
+			_ = c.ledger.Release(claim.ID)
+		}
+	}
+	walk(0, nil)
+
+	var events []Event
+	if bestCombo == nil {
+		// Nothing feasible (shouldn't happen: previous state was feasible).
+		// Restore previous assignments.
+		for _, id := range ids {
+			app := c.apps[id]
+			if claim, err := c.matcher.Reserve(app.owner(), app.assignment); err == nil {
+				app.claim = claim
+			}
+		}
+		return nil
+	}
+	for i, id := range ids {
+		app := c.apps[id]
+		cd := bestCombo[i]
+		changed := !cd.choice.Equal(app.choice)
+		ev, err := c.adoptLocked(app, cd, now, false)
+		if err != nil {
+			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
+				app.claim = claim
+			}
+			continue
+		}
+		if changed {
+			events = append(events, ev)
+		}
+	}
+	return events
+}
+
+// EvaluationCount reports how many (choice, app) evaluations a greedy pass
+// performs versus an exhaustive pass for the current system; used by the A2
+// ablation bench to quantify search-space savings.
+func (c *Controller) EvaluationCount() (greedy, exhaustive int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	exhaustive = 1
+	for _, id := range c.order {
+		n := len(c.enumerateChoices(c.apps[id].bundle))
+		greedy += n
+		exhaustive *= n
+	}
+	if len(c.order) == 0 {
+		exhaustive = 0
+	}
+	return greedy, exhaustive
+}

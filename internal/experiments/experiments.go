@@ -1,0 +1,136 @@
+// Package experiments regenerates every table and figure of "Exposing
+// Application Alternatives" (ICDCS 1999) on the simulated substrate:
+//
+//	T1  — Table 1 RSL tag coverage
+//	F2a — Figure 2a "Simple" parallel application bundle
+//	F2b — Figure 2b "Bag" variable-parallelism bundle
+//	F3  — Figure 3 client-server database bundle
+//	F4  — Figure 4 online reconfiguration of a parallel application
+//	F7  — Figure 7 query-shipping -> data-shipping adaptation
+//	A1  — ablation: frictional cost on/off
+//	A2  — ablation: greedy vs exhaustive option search
+//	A3  — ablation: default vs explicit performance model
+//
+// Each Run* function is deterministic given its config, drives the full
+// stack (RSL, controller, matcher, predictor, simulated cluster and
+// workloads), and returns both the printable rows the paper reports and
+// machine-checkable shape assertions.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Check is one shape assertion: the reproduction does not chase the
+// paper's absolute SP-2 numbers, but who wins, by roughly what factor, and
+// where crossovers fall must match.
+type Check struct {
+	// Name says what is asserted.
+	Name string
+	// Pass reports whether the measured shape matches the paper.
+	Pass bool
+	// Detail carries the measured values.
+	Detail string
+}
+
+// Result is a completed experiment.
+type Result struct {
+	// ID is the experiment identifier (T1, F2a, ... A3).
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Rows are the printable table rows / series the paper reports.
+	Rows []string
+	// Checks are the shape assertions.
+	Checks []Check
+}
+
+// Passed reports whether every check passed.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the result for terminal output.
+func (r *Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s\n", row)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&sb, "[%s] %s — %s\n", status, c.Name, c.Detail)
+	}
+	return sb.String()
+}
+
+func check(name string, pass bool, format string, args ...any) Check {
+	return Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)}
+}
+
+// All runs every experiment with default configurations, in paper order.
+func All() ([]*Result, error) {
+	type runner struct {
+		id  string
+		run func() (*Result, error)
+	}
+	runners := []runner{
+		{"T1", func() (*Result, error) { return RunTable1() }},
+		{"F2a", func() (*Result, error) { return RunFigure2a() }},
+		{"F2b", func() (*Result, error) { return RunFigure2b() }},
+		{"F3", func() (*Result, error) { return RunFigure3() }},
+		{"F4", func() (*Result, error) { return RunFigure4(DefaultFigure4Config()) }},
+		{"F7", func() (*Result, error) { return RunFigure7(DefaultFigure7Config()) }},
+		{"A1", func() (*Result, error) { return RunAblationFriction(DefaultAblationFrictionConfig()) }},
+		{"A2", func() (*Result, error) { return RunAblationSearch() }},
+		{"A3", func() (*Result, error) { return RunAblationModel() }},
+	}
+	results := make([]*Result, 0, len(runners))
+	for _, r := range runners {
+		res, err := r.run()
+		if err != nil {
+			return results, fmt.Errorf("experiment %s: %w", r.id, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// ByID runs one experiment by identifier.
+func ByID(id string) (*Result, error) {
+	switch id {
+	case "T1":
+		return RunTable1()
+	case "F2a":
+		return RunFigure2a()
+	case "F2b":
+		return RunFigure2b()
+	case "F3":
+		return RunFigure3()
+	case "F4":
+		return RunFigure4(DefaultFigure4Config())
+	case "F7":
+		return RunFigure7(DefaultFigure7Config())
+	case "A1":
+		return RunAblationFriction(DefaultAblationFrictionConfig())
+	case "A2":
+		return RunAblationSearch()
+	case "A3":
+		return RunAblationModel()
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"T1", "F2a", "F2b", "F3", "F4", "F7", "A1", "A2", "A3"}
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func requirePassed(t *testing.T, res *Result) {
+	t.Helper()
+	for _, c := range res.Checks {
+		if !c.Pass {
+			t.Errorf("[FAIL] %s — %s", c.Name, c.Detail)
+		}
+	}
+	if t.Failed() {
+		t.Log("\n" + res.Format())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+	if len(res.Rows) != 9 {
+		t.Fatalf("rows = %d, want one per Table 1 tag", len(res.Rows))
+	}
+}
+
+func TestRunFigure2a(t *testing.T) {
+	res, err := RunFigure2a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestRunFigure2b(t *testing.T) {
+	res, err := RunFigure2b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestRunFigure3(t *testing.T) {
+	res, err := RunFigure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestRunFigure4(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	res, out, err := RunFigure4Outcome(DefaultFigure4Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+	if len(out.FinalWorkers) != 3 {
+		t.Fatalf("final workers = %v", out.FinalWorkers)
+	}
+}
+
+func TestRunFigure4SmallConfig(t *testing.T) {
+	cfg := Figure4Config{
+		Nodes:             4,
+		Jobs:              2,
+		ArrivalGapSeconds: 200,
+		HorizonSeconds:    400,
+		TotalWork:         100,
+		Tasks:             20,
+		CommCoeff:         1.2,
+		Seed:              2,
+	}
+	res, out, err := RunFigure4Outcome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Small config skips the paper-scale shape checks that assume 8 nodes;
+	// verify mechanics instead: both jobs ran and split the machine.
+	_ = res
+	sum := 0
+	for _, w := range out.FinalWorkers {
+		if w < 1 {
+			t.Fatalf("job got no workers: %v", out.FinalWorkers)
+		}
+		sum += w
+	}
+	if sum > cfg.Nodes {
+		t.Fatalf("partitions %v exceed %d nodes", out.FinalWorkers, cfg.Nodes)
+	}
+	if out.Recorder.Len("job 1 time") == 0 || out.Recorder.Len("job 2 time") == 0 {
+		t.Fatal("jobs recorded no iterations")
+	}
+}
+
+func TestRunFigure7(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure run")
+	}
+	res, out, err := RunFigure7Outcome(DefaultFigure7Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+	if out.SwitchAt <= 400*time.Second || out.SwitchAt >= 600*time.Second {
+		t.Fatalf("switch at %v", out.SwitchAt)
+	}
+}
+
+func TestRunFigure7SmallAndOptimizer(t *testing.T) {
+	cfg := Figure7Config{
+		PhaseSeconds:      60,
+		Clients:           3,
+		TuplesPerRelation: 19000,
+		ServerMemoryMB:    32,
+		SwitchThreshold:   3,
+		RuleDelaySeconds:  20,
+		UseOptimizer:      true,
+	}
+	res, out, err := RunFigure7Outcome(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The optimizer variant may legitimately choose mixed configurations
+	// (Section 3.5 allows DS for some clients and QS for others), so only
+	// the mechanics are asserted.
+	if out.Recorder.Len("client 1") == 0 {
+		t.Fatal("no queries recorded")
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows produced")
+	}
+}
+
+func TestRunFigure7Validation(t *testing.T) {
+	if _, err := RunFigure7(Figure7Config{}); err == nil {
+		t.Fatal("zero-client config accepted")
+	}
+}
+
+func TestRunFigure4Validation(t *testing.T) {
+	if _, err := RunFigure4(Figure4Config{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}
+
+func TestRunAblationFriction(t *testing.T) {
+	res, err := RunAblationFriction(DefaultAblationFrictionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestRunAblationSearch(t *testing.T) {
+	res, err := RunAblationSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestRunAblationModel(t *testing.T) {
+	res, err := RunAblationModel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requirePassed(t, res)
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "F4" || id == "F7" {
+			continue // covered by the dedicated (slower) tests above
+		}
+		res, err := ByID(id)
+		if err != nil {
+			t.Fatalf("ByID(%s): %v", id, err)
+		}
+		if res.ID != id {
+			t.Fatalf("result id = %s, want %s", res.ID, id)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestResultFormatAndPassed(t *testing.T) {
+	res := &Result{
+		ID:    "X",
+		Title: "test",
+		Rows:  []string{"row1"},
+		Checks: []Check{
+			{Name: "good", Pass: true, Detail: "d1"},
+			{Name: "bad", Pass: false, Detail: "d2"},
+		},
+	}
+	out := res.Format()
+	if !strings.Contains(out, "row1") || !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if res.Passed() {
+		t.Fatal("Passed with failing check")
+	}
+	res.Checks = res.Checks[:1]
+	if !res.Passed() {
+		t.Fatal("Passed false with all passing")
+	}
+}

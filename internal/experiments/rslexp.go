@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"harmony/internal/cluster"
+	"harmony/internal/match"
+	"harmony/internal/predict"
+	"harmony/internal/rsl"
+)
+
+// Figure2aRSL is the paper's "Simple" generic parallel application: four
+// identical worker nodes of 300 reference-seconds and 32 MB each, plus an
+// aggregate communication requirement over a fully connected node set.
+const Figure2aRSL = `
+harmonyBundle Simple:1 config {
+	{only
+		{node worker * {seconds 300} {memory 32} {replicate 4}}
+		{communication 10}
+	}
+}
+`
+
+// Figure2bRSL is the paper's "Bag" bag-of-tasks application: the variable
+// tag exposes 1/2/4/8 workers, per-node seconds are parameterized so total
+// cycles stay constant, communication grows as the square of the worker
+// count, and the performance tag supplies an explicit piecewise-linear
+// model with a granularity of one outer iteration (10 s).
+const Figure2bRSL = `
+harmonyBundle Bag:1 parallelism {
+	{workers
+		{variable workerNodes {1 2 4 8}}
+		{node worker * {seconds {300 / workerNodes}} {memory 32} {replicate workerNodes} {exclusive 1}}
+		{communication {0.5 * workerNodes ^ 2}}
+		{performance {{1 300} {2 160} {4 90} {8 70}}}
+		{granularity 10}
+	}
+}
+`
+
+// Figure3RSL is the paper's hybrid client-server database bundle: the
+// "where" bundle exports query-shipping (QS) and data-shipping (DS); QS
+// consumes more at the server, DS more at the client; DS memory is a
+// minimum (>= 17 MB) and its link bandwidth falls as granted client memory
+// rises, capped at 24 MB.
+const Figure3RSL = `
+harmonyBundle DBclient:1 where {
+	{QS
+		{node server harmony.cs.umd.edu {seconds 42} {memory 20}}
+		{node client * {os linux} {seconds 1} {memory 2}}
+		{link client server 2}
+	}
+	{DS
+		{node server harmony.cs.umd.edu {seconds 1} {memory 20}}
+		{node client * {os linux} {memory >=17} {seconds 9}}
+		{link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}
+	}
+}
+`
+
+// RunTable1 exercises every primary tag of Table 1 and reports which
+// construct each decodes into.
+func RunTable1() (*Result, error) {
+	res := &Result{ID: "T1", Title: "Table 1 — primary tags of the Harmony RSL"}
+	script := Figure2aRSL + Figure2bRSL + Figure3RSL + `
+harmonyNode harmony.cs.umd.edu {speed 1.0} {memory 128} {os linux} {cpus 1}
+harmonyNode fast.cs.umd.edu {speed 2.5} {memory 256} {os linux} {cpus 2}
+`
+	bundles, decls, err := rsl.DecodeScript(script)
+	if err != nil {
+		return nil, err
+	}
+	tags := map[string]string{}
+	tags["harmonyBundle"] = fmt.Sprintf("%d application bundles decoded", len(bundles))
+	nodeCount, linkCount, commCount, perfCount, granCount, varCount := 0, 0, 0, 0, 0, 0
+	for _, b := range bundles {
+		for i := range b.Options {
+			opt := &b.Options[i]
+			nodeCount += len(opt.Nodes)
+			linkCount += len(opt.Links)
+			if opt.Communication != nil {
+				commCount++
+			}
+			if len(opt.Performance) > 0 {
+				perfCount++
+			}
+			if opt.Granularity != nil {
+				granCount++
+			}
+			varCount += len(opt.Variables)
+		}
+	}
+	tags["node"] = fmt.Sprintf("%d node requirements", nodeCount)
+	tags["link"] = fmt.Sprintf("%d link requirements", linkCount)
+	tags["communication"] = fmt.Sprintf("%d aggregate communication specs", commCount)
+	tags["performance"] = fmt.Sprintf("%d explicit prediction overrides", perfCount)
+	tags["granularity"] = fmt.Sprintf("%d switching-rate limits", granCount)
+	tags["variable"] = fmt.Sprintf("%d Harmony-instantiable variables", varCount)
+	tags["harmonyNode"] = fmt.Sprintf("%d resource declarations", len(decls))
+	speedSeen := false
+	for _, d := range decls {
+		if d.Speed != 1.0 {
+			speedSeen = true
+		}
+	}
+	tags["speed"] = fmt.Sprintf("relative speeds present: %v (reference: %s)", speedSeen, "400 MHz Pentium II")
+
+	order := []string{"harmonyBundle", "node", "link", "communication",
+		"performance", "granularity", "variable", "harmonyNode", "speed"}
+	for _, tag := range order {
+		res.Rows = append(res.Rows, fmt.Sprintf("%-14s %s", tag, tags[tag]))
+	}
+	res.Checks = append(res.Checks,
+		check("all Table 1 tags decode", len(bundles) == 3 && len(decls) == 2 &&
+			nodeCount == 6 && linkCount == 2 && commCount == 2 &&
+			perfCount == 1 && granCount == 1 && varCount == 1 && speedSeen,
+			"bundles=%d decls=%d nodes=%d links=%d comm=%d perf=%d gran=%d vars=%d",
+			len(bundles), len(decls), nodeCount, linkCount, commCount, perfCount, granCount, varCount))
+	return res, nil
+}
+
+// RunFigure2a decodes and places the "Simple" application on a 4-node
+// SP-2, verifying four distinct fully connected nodes.
+func RunFigure2a() (*Result, error) {
+	res := &Result{ID: "F2a", Title: "Figure 2a — simple parallel application"}
+	bundles, _, err := rsl.DecodeScript(Figure2aRSL)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := cluster.NewSP2(4)
+	if err != nil {
+		return nil, err
+	}
+	m := match.New(cl.Ledger())
+	asg, err := m.Match(match.Request{Option: &bundles[0].Options[0]})
+	if err != nil {
+		return nil, err
+	}
+	hosts := asg.Hosts()
+	res.Rows = append(res.Rows,
+		fmt.Sprintf("matched nodes: %v", hosts),
+		fmt.Sprintf("per-node: %g ref-seconds, %g MB", asg.Nodes[0].Seconds, asg.Nodes[0].MemoryMB),
+		fmt.Sprintf("aggregate communication: %g Mbps over %d fully connected nodes",
+			asg.CommunicationMbps, len(hosts)))
+	res.Checks = append(res.Checks,
+		check("four distinct nodes matched", len(hosts) == 4, "hosts=%v", hosts),
+		check("requirements quantified", asg.Nodes[0].Seconds == 300 && asg.Nodes[0].MemoryMB == 32,
+			"seconds=%g memory=%g", asg.Nodes[0].Seconds, asg.Nodes[0].MemoryMB))
+	return res, nil
+}
+
+// RunFigure2b evaluates the "Bag" bundle across its variable settings,
+// reporting per-worker seconds (constant total cycles), quadratic
+// communication and the interpolated performance model.
+func RunFigure2b() (*Result, error) {
+	res := &Result{ID: "F2b", Title: "Figure 2b — bag-of-tasks, variable parallelism"}
+	bundles, _, err := rsl.DecodeScript(Figure2bRSL)
+	if err != nil {
+		return nil, err
+	}
+	opt := &bundles[0].Options[0]
+	vs := opt.Variable("workerNodes")
+	if vs == nil {
+		return nil, fmt.Errorf("workerNodes variable missing")
+	}
+	res.Rows = append(res.Rows, fmt.Sprintf("%-8s %12s %12s %12s", "workers", "sec/node", "comm Mbps", "model sec"))
+	constantCycles := true
+	quadratic := true
+	monotoneModel := true
+	prevModel := 1e18
+	for _, w := range vs.Values {
+		env := rsl.MapEnv{"workerNodes": w}
+		secs, err := opt.Nodes[0].Tags["seconds"].EvalNum(env)
+		if err != nil {
+			return nil, err
+		}
+		comm, err := opt.Communication.Eval(env)
+		if err != nil {
+			return nil, err
+		}
+		model, err := predict.Interpolate(opt.Performance, w)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, fmt.Sprintf("%-8g %12.1f %12.1f %12.1f", w, secs, comm, model))
+		if secs*w != 300 {
+			constantCycles = false
+		}
+		if comm != 0.5*w*w {
+			quadratic = false
+		}
+		if model > prevModel {
+			monotoneModel = false
+		}
+		prevModel = model
+	}
+	res.Checks = append(res.Checks,
+		check("total cycles constant across worker counts", constantCycles, "seconds*w == 300"),
+		check("communication grows as the square of workers", quadratic, "comm == 0.5*w^2"),
+		check("explicit model decreases with workers over {1,2,4,8}", monotoneModel, "piecewise-linear points"))
+	// The paper highlights interpolation between supplied points.
+	mid, err := predict.Interpolate(opt.Performance, 3)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, fmt.Sprintf("interpolated model at 3 workers: %.1f s", mid))
+	res.Checks = append(res.Checks,
+		check("piecewise-linear interpolation between points", mid == 125, "interp(3)=%g, want 125 (midpoint of 160,90)", mid))
+	return res, nil
+}
+
+// RunFigure3 decodes the database bundle and verifies the two
+// "relatively sophisticated aspects" the paper calls out: asymmetric
+// server/client load between QS and DS, and the memory-for-bandwidth
+// parameterization of the DS link.
+func RunFigure3() (*Result, error) {
+	res := &Result{ID: "F3", Title: "Figure 3 — client-server database bundle"}
+	bundles, _, err := rsl.DecodeScript(Figure3RSL)
+	if err != nil {
+		return nil, err
+	}
+	b := bundles[0]
+	qs, ds := b.Option("QS"), b.Option("DS")
+	if qs == nil || ds == nil {
+		return nil, fmt.Errorf("QS or DS option missing")
+	}
+	qsServer, err := qs.Nodes[0].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		return nil, err
+	}
+	dsServer, err := ds.Nodes[0].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		return nil, err
+	}
+	qsClient, err := qs.Nodes[1].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		return nil, err
+	}
+	dsClient, err := ds.Nodes[1].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows,
+		fmt.Sprintf("QS: server %g s, client %g s", qsServer, qsClient),
+		fmt.Sprintf("DS: server %g s, client %g s", dsServer, dsClient))
+	res.Checks = append(res.Checks,
+		check("QS consumes more at the server, DS more at the client",
+			qsServer > dsServer && dsClient > qsClient,
+			"QS server %g > DS server %g; DS client %g > QS client %g",
+			qsServer, dsServer, dsClient, qsClient))
+
+	memTag := ds.Nodes[1].Tags["memory"]
+	minMem, err := memTag.EvalNum(nil)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, fmt.Sprintf("DS client memory: %s %g MB", memTag.Op, minMem))
+	res.Checks = append(res.Checks,
+		check("DS memory is a minimum constraint", memTag.Op == rsl.OpMin && minMem == 17,
+			"op=%s min=%g", memTag.Op, minMem))
+
+	link := ds.Links[0]
+	var bwRows []string
+	capped := true
+	for _, mem := range []float64{17, 20, 24, 32, 64} {
+		bw, err := link.Bandwidth.Eval(rsl.MapEnv{"client.memory": mem})
+		if err != nil {
+			return nil, err
+		}
+		bwRows = append(bwRows, fmt.Sprintf("client.memory=%2g MB -> link %g Mbps", mem, bw))
+		want := 44 + mem - 17
+		if mem > 24 {
+			want = 51
+		}
+		if bw != want {
+			capped = false
+		}
+	}
+	res.Rows = append(res.Rows, bwRows...)
+	res.Checks = append(res.Checks,
+		check("DS link bandwidth parameterized on granted memory with 24 MB cap",
+			capped, "bw(>=24MB)=51, bw(17MB)=44"))
+	return res, nil
+}

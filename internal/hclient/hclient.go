@@ -1,0 +1,358 @@
+// Package hclient is the Harmony client runtime library linked into
+// applications (Section 5, Figure 5 of the paper). It provides the paper's
+// API surface in Go form:
+//
+//	harmony_startup(id, useInterrupts)  -> Client.Startup
+//	harmony_bundle_setup("<bundle>")    -> Client.BundleSetup
+//	harmony_add_variable(name, default) -> Client.AddVariable
+//	harmony_wait_for_update()           -> Client.WaitForUpdate
+//	harmony_end()                       -> Client.End
+//
+// A background reader applies pushed variable updates (the paper's I/O
+// event handler); the application polls Harmony variables at natural phase
+// boundaries and adapts.
+package hclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"harmony/internal/protocol"
+)
+
+// Errors reported by the client.
+var (
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("hclient: connection closed")
+	// ErrNotRegistered is returned by End before BundleSetup.
+	ErrNotRegistered = errors.New("hclient: no registered bundle")
+)
+
+// ServerError carries a server-side rejection.
+type ServerError struct {
+	Reason string
+}
+
+func (e *ServerError) Error() string { return "hclient: server: " + e.Reason }
+
+// Variable is a Harmony variable: the application reads it periodically and
+// adapts when Harmony changes it (Section 5). Reads are safe from any
+// goroutine.
+type Variable struct {
+	name string
+	c    *Client
+}
+
+// Name returns the variable name.
+func (v *Variable) Name() string { return v.name }
+
+// Value returns the current value.
+func (v *Variable) Value() protocol.VarValue {
+	v.c.mu.Lock()
+	defer v.c.mu.Unlock()
+	return v.c.vars[v.name]
+}
+
+// Num returns the numeric value (0 for string-valued variables).
+func (v *Variable) Num() float64 { return v.Value().Num }
+
+// Str returns the string value ("" for numeric variables).
+func (v *Variable) Str() string { return v.Value().Str }
+
+// Client is one application's connection to the Harmony server.
+type Client struct {
+	netConn net.Conn
+	writer  *protocol.Writer
+	writeMu sync.Mutex
+
+	mu         sync.Mutex
+	vars       map[string]protocol.VarValue
+	declared   map[string]*Variable
+	instance   int
+	registered bool
+	closed     bool
+	generation uint64
+	genCh      chan struct{}
+	nextSeq    uint64
+	replies    map[uint64]chan *protocol.Message
+	readErr    error
+
+	done chan struct{}
+}
+
+// Dial connects to a Harmony server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("hclient: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		netConn:  nc,
+		writer:   protocol.NewWriter(nc),
+		vars:     make(map[string]protocol.VarValue),
+		declared: make(map[string]*Variable),
+		genCh:    make(chan struct{}),
+		replies:  make(map[uint64]chan *protocol.Message),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop dispatches replies to waiting requests and applies pushed
+// updates; it is the paper's "I/O event handler function ... called when
+// the Harmony process sends variable updates".
+func (c *Client) readLoop() {
+	defer close(c.done)
+	r := protocol.NewReader(c.netConn)
+	for {
+		msg, err := r.Read()
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			c.closed = true
+			for _, ch := range c.replies {
+				close(ch)
+			}
+			c.replies = make(map[uint64]chan *protocol.Message)
+			close(c.genCh)
+			c.genCh = nil
+			c.mu.Unlock()
+			return
+		}
+		if msg.Type == protocol.TypeUpdate {
+			c.applyUpdate(msg)
+			continue
+		}
+		c.mu.Lock()
+		if ch, ok := c.replies[msg.Seq]; ok {
+			delete(c.replies, msg.Seq)
+			ch <- msg
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) applyUpdate(msg *protocol.Message) {
+	c.mu.Lock()
+	for k, v := range msg.Vars {
+		c.vars[k] = v
+	}
+	c.generation++
+	if c.genCh != nil {
+		close(c.genCh)
+		c.genCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+}
+
+// call performs one request/reply round trip.
+func (c *Client) call(msg *protocol.Message) (*protocol.Message, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.nextSeq++
+	msg.Seq = c.nextSeq
+	ch := make(chan *protocol.Message, 1)
+	c.replies[msg.Seq] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	err := c.writer.Write(msg)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.replies, msg.Seq)
+		c.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	if reply.Type == protocol.TypeError {
+		return nil, &ServerError{Reason: reply.Error}
+	}
+	return reply, nil
+}
+
+// Startup registers the program with the Harmony server
+// (harmony_startup).
+func (c *Client) Startup(appID string, useInterrupts bool) error {
+	_, err := c.call(&protocol.Message{
+		Type:          protocol.TypeStartup,
+		AppID:         appID,
+		UseInterrupts: useInterrupts,
+	})
+	return err
+}
+
+// BundleSetup sends an RSL bundle definition (harmony_bundle_setup) and
+// returns the controller-assigned instance id. The initial configuration is
+// applied to the client's variables before returning.
+func (c *Client) BundleSetup(rslText string) (int, error) {
+	reply, err := c.call(&protocol.Message{Type: protocol.TypeBundleSetup, RSL: rslText})
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	c.instance = reply.Instance
+	c.registered = true
+	for k, v := range reply.Vars {
+		c.vars[k] = v
+	}
+	c.generation++
+	if c.genCh != nil {
+		close(c.genCh)
+		c.genCh = make(chan struct{})
+	}
+	c.mu.Unlock()
+	return reply.Instance, nil
+}
+
+// Instance reports the assigned instance id (0 before BundleSetup).
+func (c *Client) Instance() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.instance
+}
+
+// AddVariable declares a Harmony variable with a default value
+// (harmony_add_variable) and returns a handle for polling it.
+func (c *Client) AddVariable(name string, def protocol.VarValue) (*Variable, error) {
+	if name == "" {
+		return nil, errors.New("hclient: variable needs a name")
+	}
+	if _, err := c.call(&protocol.Message{
+		Type:  protocol.TypeAddVariable,
+		Name:  name,
+		Value: def,
+	}); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v, ok := c.declared[name]; ok {
+		return v, nil
+	}
+	if _, ok := c.vars[name]; !ok {
+		c.vars[name] = def
+	}
+	v := &Variable{name: name, c: c}
+	c.declared[name] = v
+	return v, nil
+}
+
+// Var returns a previously declared variable handle, or nil.
+func (c *Client) Var(name string) *Variable {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.declared[name]
+}
+
+// Value reads any received variable by name (declared or not).
+func (c *Client) Value(name string) (protocol.VarValue, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.vars[name]
+	return v, ok
+}
+
+// WaitForUpdate blocks until the Harmony system updates the client's
+// variables (harmony_wait_for_update) or the context is cancelled.
+func (c *Client) WaitForUpdate(ctx context.Context) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	ch := c.genCh
+	c.mu.Unlock()
+	if ch == nil {
+		return ErrClosed
+	}
+	select {
+	case <-ch:
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Generation counts applied updates; useful for polling without blocking.
+func (c *Client) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
+}
+
+// Report sends an application metric to the server's bus.
+func (c *Client) Report(name string, value float64) error {
+	_, err := c.call(&protocol.Message{
+		Type:  protocol.TypeReport,
+		Name:  name,
+		Value: protocol.NumVar(value),
+	})
+	return err
+}
+
+// End announces the application is about to terminate (harmony_end):
+// Harmony releases and re-evaluates its resources.
+func (c *Client) End() error {
+	c.mu.Lock()
+	registered := c.registered
+	inst := c.instance
+	c.mu.Unlock()
+	if !registered {
+		return ErrNotRegistered
+	}
+	if _, err := c.call(&protocol.Message{Type: protocol.TypeEnd, Instance: inst}); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.registered = false
+	c.mu.Unlock()
+	return nil
+}
+
+// Status fetches the controller snapshot (used by harmonyctl).
+func (c *Client) Status() ([]protocol.AppStatus, float64, error) {
+	reply, err := c.call(&protocol.Message{Type: protocol.TypeStatus})
+	if err != nil {
+		return nil, 0, err
+	}
+	return reply.Apps, reply.Objective, nil
+}
+
+// Reevaluate forces an optimizer pass on the server.
+func (c *Client) Reevaluate() error {
+	_, err := c.call(&protocol.Message{Type: protocol.TypeReevaluate})
+	return err
+}
+
+// Close tears down the connection and waits for the reader to exit.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.netConn.Close()
+	<-c.done
+	return err
+}

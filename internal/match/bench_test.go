@@ -1,0 +1,72 @@
+package match
+
+import (
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/rsl"
+)
+
+func benchMatcher(b *testing.B, n int) *Matcher {
+	b.Helper()
+	c, err := cluster.NewSP2(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(c.Ledger())
+}
+
+func benchBundle(b *testing.B, src string) *rsl.BundleSpec {
+	b.Helper()
+	bundles, _, err := rsl.DecodeScript(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bundles[0]
+}
+
+func BenchmarkMatchDBOption(b *testing.B) {
+	m := benchMatcher(b, 4)
+	bundle := benchBundle(b, dbBundleSrc)
+	opt := bundle.Option("DS")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(Request{Option: opt}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchReplicated8(b *testing.B) {
+	m := benchMatcher(b, 8)
+	bundle := benchBundle(b, bagBundleSrc)
+	opt := bundle.Option("workers")
+	env := rsl.MapEnv{"workerNodes": 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Match(Request{Option: opt, Env: env}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchReserveRelease(b *testing.B) {
+	m := benchMatcher(b, 8)
+	bundle := benchBundle(b, bagBundleSrc)
+	opt := bundle.Option("workers")
+	env := rsl.MapEnv{"workerNodes": 4}
+	asg, err := m.Match(Request{Option: opt, Env: env})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		claim, err := m.Reserve("bench", asg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.ledger.Release(claim.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package match places RSL option requirements onto cluster resources using
+// the paper's first-fit strategy (Section 4.1): nodes meeting the minimum
+// requirements are taken in hostname order, link requirements between the
+// chosen nodes are verified, and available capacity is decreased as
+// requirements are matched (via resource.Ledger claims).
+package match
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"harmony/internal/resource"
+	"harmony/internal/rsl"
+)
+
+// DefaultCPULoad is the steady-state CPU demand charged per assigned
+// process: one reference CPU's worth while the job runs.
+const DefaultCPULoad = 1.0
+
+// NodeAssignment binds one option-local node name to a concrete machine.
+type NodeAssignment struct {
+	// LocalName is the name within the option namespace ("server",
+	// "client", "worker"). Replicas share a LocalName.
+	LocalName string
+	// Hostname is the machine chosen.
+	Hostname string
+	// Seconds is the reference-machine CPU requirement placed there.
+	Seconds float64
+	// MemoryMB is the memory granted (>= the spec's minimum).
+	MemoryMB float64
+	// CPULoad is the steady-state CPU demand charged while running.
+	CPULoad float64
+}
+
+// LinkAssignment binds one link requirement to a concrete host pair.
+type LinkAssignment struct {
+	// LocalA and LocalB are the option-local endpoint names.
+	LocalA, LocalB string
+	// HostA and HostB are the chosen machines.
+	HostA, HostB string
+	// BandwidthMbps is the requirement placed on the link.
+	BandwidthMbps float64
+}
+
+// Assignment is a complete placement of one option onto the cluster.
+type Assignment struct {
+	// Option names the option that was placed.
+	Option string
+	// Nodes lists the node placements in spec order (replicas expanded).
+	Nodes []NodeAssignment
+	// Links lists explicit link placements.
+	Links []LinkAssignment
+	// CommunicationMbps is the aggregate all-pairs requirement from the
+	// communication tag (0 when absent).
+	CommunicationMbps float64
+}
+
+// Hosts returns the distinct hostnames used, in assignment order.
+func (a *Assignment) Hosts() []string {
+	seen := make(map[string]bool, len(a.Nodes))
+	var hosts []string
+	for _, n := range a.Nodes {
+		if !seen[n.Hostname] {
+			seen[n.Hostname] = true
+			hosts = append(hosts, n.Hostname)
+		}
+	}
+	return hosts
+}
+
+// TotalSeconds sums the reference-CPU seconds across all placements.
+func (a *Assignment) TotalSeconds() float64 {
+	total := 0.0
+	for _, n := range a.Nodes {
+		total += n.Seconds
+	}
+	return total
+}
+
+// MemoryEnv exposes granted per-local-name memory (and seconds) for RSL
+// evaluation, so link formulas like Figure 3's can reference client.memory.
+func (a *Assignment) MemoryEnv() rsl.MapEnv {
+	env := make(rsl.MapEnv, 2*len(a.Nodes))
+	for _, n := range a.Nodes {
+		env[n.LocalName+".memory"] = n.MemoryMB
+		env[n.LocalName+".seconds"] = n.Seconds
+	}
+	return env
+}
+
+// NoFitError reports why an option could not be placed.
+type NoFitError struct {
+	Option string
+	Reason string
+}
+
+func (e *NoFitError) Error() string {
+	return fmt.Sprintf("match: option %q does not fit: %s", e.Option, e.Reason)
+}
+
+func noFit(option, format string, args ...any) error {
+	return &NoFitError{Option: option, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Request carries everything needed to place one option.
+type Request struct {
+	// Option is the decoded RSL option.
+	Option *rsl.OptionSpec
+	// Env resolves option variables (e.g. workerNodes) during evaluation.
+	Env rsl.Env
+	// MemoryGrants optionally raises OpMin memory tags above their minimum,
+	// keyed by option-local node name. Grants below the minimum fail.
+	MemoryGrants map[string]float64
+	// ExcludeHosts are machines the matcher must not use (e.g. reserved).
+	ExcludeHosts map[string]bool
+}
+
+// Matcher places options onto a ledger.
+type Matcher struct {
+	ledger   *resource.Ledger
+	strategy Strategy
+}
+
+// New returns a matcher over the ledger.
+func New(ledger *resource.Ledger) *Matcher {
+	return &Matcher{ledger: ledger}
+}
+
+// Match computes a first-fit assignment without reserving anything. Use
+// Reserve to commit the returned assignment.
+func (m *Matcher) Match(req Request) (*Assignment, error) {
+	if req.Option == nil {
+		return nil, errors.New("match: nil option")
+	}
+	opt := req.Option
+	asg := &Assignment{Option: opt.Name}
+	used := make(map[string]bool)
+	for k := range req.ExcludeHosts {
+		if req.ExcludeHosts[k] {
+			used[k] = true
+		}
+	}
+
+	// Nodes are scanned least-loaded first (so concurrent applications
+	// spread onto idle machines), with the configured strategy breaking
+	// ties: first-fit by hostname, best-fit by least free memory,
+	// worst-fit by most free memory.
+	states := m.ledger.Nodes()
+	m.orderStates(states)
+
+	// CPU demand per local name is the node's busy fraction of the job:
+	// the share of the job's critical-path seconds spent there. A database
+	// server doing 1 of a job's 10 seconds is charged 0.1 CPUs, not 1.0.
+	specCPULoad := make(map[string]float64, len(opt.Nodes))
+	maxSeconds := 0.0
+
+	for _, spec := range opt.Nodes {
+		replicas, err := replicaCount(&spec, req.Env)
+		if err != nil {
+			return nil, noFit(opt.Name, "node %s: %v", spec.LocalName, err)
+		}
+		needMem, memOp, err := memoryRequirement(&spec, req.Env)
+		if err != nil {
+			return nil, noFit(opt.Name, "node %s: %v", spec.LocalName, err)
+		}
+		grant := needMem
+		if g, ok := req.MemoryGrants[spec.LocalName]; ok {
+			switch memOp {
+			case rsl.OpMin:
+				if g < needMem {
+					return nil, noFit(opt.Name, "node %s: grant %g MB below minimum %g MB", spec.LocalName, g, needMem)
+				}
+				grant = g
+			case rsl.OpMax:
+				if g > needMem {
+					return nil, noFit(opt.Name, "node %s: grant %g MB above maximum %g MB", spec.LocalName, g, needMem)
+				}
+				grant = g
+			default:
+				if g != needMem {
+					return nil, noFit(opt.Name, "node %s: grant %g MB differs from exact requirement %g MB", spec.LocalName, g, needMem)
+				}
+			}
+		}
+		seconds, err := secondsRequirement(&spec, req.Env)
+		if err != nil {
+			return nil, noFit(opt.Name, "node %s: %v", spec.LocalName, err)
+		}
+		exclusive, err := exclusiveRequirement(&spec, req.Env)
+		if err != nil {
+			return nil, noFit(opt.Name, "node %s: %v", spec.LocalName, err)
+		}
+
+		specCPULoad[spec.LocalName] = seconds
+		if seconds > maxSeconds {
+			maxSeconds = seconds
+		}
+
+		for r := 0; r < replicas; r++ {
+			host, err := m.firstFit(states, &spec, grant, exclusive, used)
+			if err != nil {
+				return nil, noFit(opt.Name, "node %s replica %d: %v", spec.LocalName, r+1, err)
+			}
+			// Fixed-host specs may stack multiple local names on the same
+			// machine; wildcard placements take distinct hosts.
+			if spec.HostPattern == "*" {
+				used[host] = true
+			}
+			asg.Nodes = append(asg.Nodes, NodeAssignment{
+				LocalName: spec.LocalName,
+				Hostname:  host,
+				Seconds:   seconds,
+				MemoryMB:  grant,
+			})
+		}
+	}
+
+	// Assign busy-fraction CPU loads now that the critical path is known.
+	for i := range asg.Nodes {
+		if maxSeconds > 0 {
+			asg.Nodes[i].CPULoad = specCPULoad[asg.Nodes[i].LocalName] / maxSeconds
+		} else {
+			asg.Nodes[i].CPULoad = DefaultCPULoad
+		}
+	}
+
+	// Evaluate links with granted memory visible to the expressions.
+	linkEnv := rsl.ChainEnv{asg.MemoryEnv(), req.Env}
+	for _, ls := range opt.Links {
+		hostA, okA := hostFor(asg, ls.A)
+		hostB, okB := hostFor(asg, ls.B)
+		if !okA || !okB {
+			return nil, noFit(opt.Name, "link %s-%s references unknown node name", ls.A, ls.B)
+		}
+		bw, err := ls.Bandwidth.Eval(linkEnv)
+		if err != nil {
+			return nil, noFit(opt.Name, "link %s-%s bandwidth: %v", ls.A, ls.B, err)
+		}
+		if bw < 0 {
+			return nil, noFit(opt.Name, "link %s-%s bandwidth %g is negative", ls.A, ls.B, bw)
+		}
+		if hostA != hostB {
+			state, err := m.ledger.Link(hostA, hostB)
+			if err != nil {
+				return nil, noFit(opt.Name, "no link between %s and %s", hostA, hostB)
+			}
+			if bw > state.Link.BandwidthMbps {
+				return nil, noFit(opt.Name, "link %s-%s needs %g Mbps, capacity %g Mbps",
+					hostA, hostB, bw, state.Link.BandwidthMbps)
+			}
+			if ls.Latency != nil {
+				maxLat, err := ls.Latency.Eval(linkEnv)
+				if err != nil {
+					return nil, noFit(opt.Name, "link %s-%s latency: %v", ls.A, ls.B, err)
+				}
+				if state.Link.LatencyMs > maxLat {
+					return nil, noFit(opt.Name, "link %s-%s latency %g ms exceeds %g ms",
+						hostA, hostB, state.Link.LatencyMs, maxLat)
+				}
+			}
+		}
+		asg.Links = append(asg.Links, LinkAssignment{
+			LocalA: ls.A, LocalB: ls.B,
+			HostA: hostA, HostB: hostB,
+			BandwidthMbps: bw,
+		})
+	}
+
+	// Aggregate communication: all assigned hosts must be fully connected
+	// (Section 3.3: "communication is general and all nodes must be fully
+	// connected").
+	if opt.Communication != nil {
+		comm, err := opt.Communication.Eval(linkEnv)
+		if err != nil {
+			return nil, noFit(opt.Name, "communication: %v", err)
+		}
+		if comm < 0 {
+			return nil, noFit(opt.Name, "communication %g is negative", comm)
+		}
+		hosts := asg.Hosts()
+		for i := 0; i < len(hosts); i++ {
+			for j := i + 1; j < len(hosts); j++ {
+				if _, err := m.ledger.Link(hosts[i], hosts[j]); err != nil {
+					return nil, noFit(opt.Name, "communication requires link %s-%s", hosts[i], hosts[j])
+				}
+			}
+		}
+		asg.CommunicationMbps = comm
+	}
+
+	return asg, nil
+}
+
+// Reserve commits an assignment to the ledger, returning the claim to
+// release when the option ends or is reconfigured away.
+func (m *Matcher) Reserve(owner string, asg *Assignment) (*resource.Claim, error) {
+	if asg == nil {
+		return nil, errors.New("match: nil assignment")
+	}
+	nodeClaims := make([]resource.NodeClaim, 0, len(asg.Nodes))
+	for _, n := range asg.Nodes {
+		nodeClaims = append(nodeClaims, resource.NodeClaim{
+			Hostname: n.Hostname,
+			MemoryMB: n.MemoryMB,
+			CPULoad:  n.CPULoad,
+		})
+	}
+	linkClaims := make([]resource.LinkClaim, 0, len(asg.Links))
+	for _, l := range asg.Links {
+		if l.HostA == l.HostB {
+			continue
+		}
+		linkClaims = append(linkClaims, resource.LinkClaim{
+			A: l.HostA, B: l.HostB, BandwidthMbps: l.BandwidthMbps,
+		})
+	}
+	// Spread aggregate communication evenly over host pairs.
+	hosts := asg.Hosts()
+	if asg.CommunicationMbps > 0 && len(hosts) > 1 {
+		pairs := len(hosts) * (len(hosts) - 1) / 2
+		per := asg.CommunicationMbps / float64(pairs)
+		for i := 0; i < len(hosts); i++ {
+			for j := i + 1; j < len(hosts); j++ {
+				linkClaims = append(linkClaims, resource.LinkClaim{
+					A: hosts[i], B: hosts[j], BandwidthMbps: per,
+				})
+			}
+		}
+	}
+	claim, err := m.ledger.Reserve(owner, nodeClaims, linkClaims)
+	if err != nil {
+		return nil, fmt.Errorf("match: reserve %s: %w", owner, err)
+	}
+	return claim, nil
+}
+
+// firstFit scans nodes (pre-sorted least-loaded first) for the first
+// machine satisfying the spec with the requested grant. Exclusive specs
+// — the paper's space-shared parallel workers, which the SP-2 allocator
+// dedicates whole nodes to — only accept idle machines.
+func (m *Matcher) firstFit(states []resource.NodeState, spec *rsl.NodeSpec, grantMem float64, exclusive bool, used map[string]bool) (string, error) {
+	var lastReason string
+	for i := range states {
+		ns := &states[i]
+		host := ns.Node.Hostname
+		if spec.HostPattern != "*" && spec.HostPattern != host {
+			continue
+		}
+		if spec.HostPattern == "*" && used[host] {
+			lastReason = "remaining hosts already used"
+			continue
+		}
+		if osTag, ok := spec.Tags["os"]; ok && osTag.IsString && osTag.Str != ns.Node.OS {
+			lastReason = fmt.Sprintf("%s runs %s, need %s", host, ns.Node.OS, osTag.Str)
+			continue
+		}
+		if hnTag, ok := spec.Tags["hostname"]; ok && hnTag.IsString && hnTag.Str != host {
+			continue
+		}
+		if ns.FreeMemoryMB < grantMem {
+			lastReason = fmt.Sprintf("%s has %g MB free, need %g MB", host, ns.FreeMemoryMB, grantMem)
+			continue
+		}
+		if exclusive && ns.CPULoad > 0 {
+			lastReason = fmt.Sprintf("%s is busy (load %g), spec requires an idle node", host, ns.CPULoad)
+			continue
+		}
+		// Found: charge the scratch state so later replicas in this same
+		// Match call see reduced capacity.
+		ns.FreeMemoryMB -= grantMem
+		if exclusive {
+			ns.CPULoad += DefaultCPULoad
+		}
+		return host, nil
+	}
+	if spec.HostPattern != "*" {
+		if lastReason == "" {
+			lastReason = fmt.Sprintf("host %s not registered", spec.HostPattern)
+		}
+		return "", errors.New(lastReason)
+	}
+	if lastReason == "" {
+		lastReason = "no registered hosts"
+	}
+	return "", errors.New(lastReason)
+}
+
+func hostFor(asg *Assignment, localName string) (string, bool) {
+	for _, n := range asg.Nodes {
+		if n.LocalName == localName {
+			return n.Hostname, true
+		}
+	}
+	return "", false
+}
+
+func replicaCount(spec *rsl.NodeSpec, env rsl.Env) (int, error) {
+	if spec.Replicate == nil {
+		return 1, nil
+	}
+	v, err := spec.Replicate.Eval(env)
+	if err != nil {
+		return 0, fmt.Errorf("replicate: %w", err)
+	}
+	n := int(math.Round(v))
+	if n < 1 {
+		return 0, fmt.Errorf("replicate count %g must be >= 1", v)
+	}
+	return n, nil
+}
+
+func memoryRequirement(spec *rsl.NodeSpec, env rsl.Env) (float64, rsl.ConstraintOp, error) {
+	tag, ok := spec.Tags["memory"]
+	if !ok {
+		return 0, rsl.OpExact, nil
+	}
+	v, err := tag.EvalNum(env)
+	if err != nil {
+		return 0, tag.Op, fmt.Errorf("memory: %w", err)
+	}
+	if v < 0 {
+		return 0, tag.Op, fmt.Errorf("memory %g is negative", v)
+	}
+	return v, tag.Op, nil
+}
+
+// exclusiveRequirement decodes the optional {exclusive 1} node tag.
+func exclusiveRequirement(spec *rsl.NodeSpec, env rsl.Env) (bool, error) {
+	tag, ok := spec.Tags["exclusive"]
+	if !ok {
+		return false, nil
+	}
+	v, err := tag.EvalNum(env)
+	if err != nil {
+		return false, fmt.Errorf("exclusive: %w", err)
+	}
+	return v != 0, nil
+}
+
+func secondsRequirement(spec *rsl.NodeSpec, env rsl.Env) (float64, error) {
+	tag, ok := spec.Tags["seconds"]
+	if !ok {
+		return 0, nil
+	}
+	v, err := tag.EvalNum(env)
+	if err != nil {
+		return 0, fmt.Errorf("seconds: %w", err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("seconds %g is negative", v)
+	}
+	return v, nil
+}

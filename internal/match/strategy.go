@@ -1,0 +1,98 @@
+package match
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"harmony/internal/resource"
+)
+
+// Strategy orders candidate nodes during matching. The paper's prototype
+// uses simple first-fit (Section 4.1) and names fragmentation-avoiding
+// policies as future work; BestFit and WorstFit implement the classic
+// alternatives so they can be compared.
+type Strategy int
+
+const (
+	// FirstFit takes nodes least-loaded-first, then by hostname: the
+	// paper's policy with a deterministic tiebreak that spreads
+	// concurrent applications onto idle machines.
+	FirstFit Strategy = iota + 1
+	// BestFit prefers the feasible node with the least free memory,
+	// packing tightly to leave large holes for future big requests.
+	BestFit
+	// WorstFit prefers the feasible node with the most free memory,
+	// balancing residual capacity.
+	WorstFit
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// StrategyByName resolves a strategy for configuration files and CLIs.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "", "first-fit", "firstfit":
+		return FirstFit, nil
+	case "best-fit", "bestfit":
+		return BestFit, nil
+	case "worst-fit", "worstfit":
+		return WorstFit, nil
+	}
+	return 0, errors.New("match: unknown strategy " + name)
+}
+
+// SetStrategy selects the node-ordering policy for subsequent Match calls.
+// The zero value (never set) behaves as FirstFit.
+func (m *Matcher) SetStrategy(s Strategy) error {
+	switch s {
+	case FirstFit, BestFit, WorstFit:
+		m.strategy = s
+		return nil
+	}
+	return fmt.Errorf("match: bad strategy %v", s)
+}
+
+// Strategy reports the active policy.
+func (m *Matcher) Strategy() Strategy {
+	if m.strategy == 0 {
+		return FirstFit
+	}
+	return m.strategy
+}
+
+// orderStates sorts the scratch node states according to the strategy.
+// Load remains the primary key for every strategy — placing work on busy
+// machines is never preferable under the contention model — with the
+// memory criterion breaking ties.
+func (m *Matcher) orderStates(states []resource.NodeState) {
+	strategy := m.Strategy()
+	sort.SliceStable(states, func(i, j int) bool {
+		a, b := &states[i], &states[j]
+		if a.CPULoad != b.CPULoad {
+			return a.CPULoad < b.CPULoad
+		}
+		switch strategy {
+		case BestFit:
+			if a.FreeMemoryMB != b.FreeMemoryMB {
+				return a.FreeMemoryMB < b.FreeMemoryMB
+			}
+		case WorstFit:
+			if a.FreeMemoryMB != b.FreeMemoryMB {
+				return a.FreeMemoryMB > b.FreeMemoryMB
+			}
+		}
+		return a.Node.Hostname < b.Node.Hostname
+	})
+}

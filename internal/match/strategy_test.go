@@ -1,0 +1,207 @@
+package match
+
+import (
+	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/resource"
+	"harmony/internal/rsl"
+)
+
+// unevenCluster has three idle nodes with different free memory.
+func unevenCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	decls := []*rsl.NodeDecl{
+		{Hostname: "big", Speed: 1, MemoryMB: 256, OS: "linux", CPUs: 1},
+		{Hostname: "mid", Speed: 1, MemoryMB: 128, OS: "linux", CPUs: 1},
+		{Hostname: "small", Speed: 1, MemoryMB: 64, OS: "linux", CPUs: 1},
+	}
+	c, err := cluster.New(cluster.Config{}, decls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func oneNodeBundle(t *testing.T, memMB float64) *rsl.OptionSpec {
+	t.Helper()
+	src := `harmonyBundle A:1 b {{O {node n * {memory ` + trimFloat(memMB) + `}}}}`
+	bundles, _, err := rsl.DecodeScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &bundles[0].Options[0]
+}
+
+func trimFloat(f float64) string {
+	// small helper for integral test values
+	n := int(f)
+	digits := ""
+	if n == 0 {
+		return "0"
+	}
+	for n > 0 {
+		digits = string(rune('0'+n%10)) + digits
+		n /= 10
+	}
+	return digits
+}
+
+func TestStrategyString(t *testing.T) {
+	if FirstFit.String() != "first-fit" || BestFit.String() != "best-fit" || WorstFit.String() != "worst-fit" {
+		t.Fatal("String broken")
+	}
+	if Strategy(9).String() == "" {
+		t.Fatal("unknown strategy empty string")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	cases := map[string]Strategy{
+		"":          FirstFit,
+		"first-fit": FirstFit,
+		"firstfit":  FirstFit,
+		"best-fit":  BestFit,
+		"bestfit":   BestFit,
+		"worst-fit": WorstFit,
+		"worstfit":  WorstFit,
+	}
+	for name, want := range cases {
+		got, err := StrategyByName(name)
+		if err != nil || got != want {
+			t.Errorf("StrategyByName(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := StrategyByName("random"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestSetStrategyValidation(t *testing.T) {
+	m := New(unevenCluster(t).Ledger())
+	if m.Strategy() != FirstFit {
+		t.Fatal("default strategy should be first-fit")
+	}
+	if err := m.SetStrategy(BestFit); err != nil || m.Strategy() != BestFit {
+		t.Fatal("SetStrategy(BestFit) failed")
+	}
+	if err := m.SetStrategy(Strategy(0)); err == nil {
+		t.Fatal("bad strategy accepted")
+	}
+}
+
+func TestFirstFitTakesHostnameOrder(t *testing.T) {
+	m := New(unevenCluster(t).Ledger())
+	asg, err := m.Match(Request{Option: oneNodeBundle(t, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Nodes[0].Hostname != "big" { // "big" < "mid" < "small"
+		t.Fatalf("first-fit placed on %s", asg.Nodes[0].Hostname)
+	}
+}
+
+func TestBestFitPacksTightest(t *testing.T) {
+	m := New(unevenCluster(t).Ledger())
+	if err := m.SetStrategy(BestFit); err != nil {
+		t.Fatal(err)
+	}
+	asg, err := m.Match(Request{Option: oneNodeBundle(t, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Nodes[0].Hostname != "small" {
+		t.Fatalf("best-fit placed on %s, want small", asg.Nodes[0].Hostname)
+	}
+	// A 100 MB request skips small (64 MB free) and lands on mid.
+	asg, err = m.Match(Request{Option: oneNodeBundle(t, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Nodes[0].Hostname != "mid" {
+		t.Fatalf("best-fit 100MB placed on %s, want mid", asg.Nodes[0].Hostname)
+	}
+}
+
+func TestWorstFitBalances(t *testing.T) {
+	m := New(unevenCluster(t).Ledger())
+	if err := m.SetStrategy(WorstFit); err != nil {
+		t.Fatal(err)
+	}
+	asg, err := m.Match(Request{Option: oneNodeBundle(t, 32)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Nodes[0].Hostname != "big" {
+		t.Fatalf("worst-fit placed on %s, want big", asg.Nodes[0].Hostname)
+	}
+}
+
+func TestBestFitAvoidsFragmentation(t *testing.T) {
+	// The scenario the paper's future-work remark describes: first-fit can
+	// strand a large request that best-fit preserves room for.
+	decls := []*rsl.NodeDecl{
+		{Hostname: "a", Speed: 1, MemoryMB: 100, OS: "linux", CPUs: 1},
+		{Hostname: "b", Speed: 1, MemoryMB: 60, OS: "linux", CPUs: 1},
+	}
+	run := func(s Strategy) (first, second string, err error) {
+		c, cerr := cluster.New(cluster.Config{}, decls)
+		if cerr != nil {
+			return "", "", cerr
+		}
+		m := New(c.Ledger())
+		if serr := m.SetStrategy(s); serr != nil {
+			return "", "", serr
+		}
+		// Small request (50 MB) then large request (90 MB).
+		asg1, err := m.Match(Request{Option: oneNodeBundle(t, 50)})
+		if err != nil {
+			return "", "", err
+		}
+		if _, err := m.Reserve("small", asg1); err != nil {
+			return "", "", err
+		}
+		asg2, err := m.Match(Request{Option: oneNodeBundle(t, 90)})
+		if err != nil {
+			return asg1.Nodes[0].Hostname, "", err
+		}
+		return asg1.Nodes[0].Hostname, asg2.Nodes[0].Hostname, nil
+	}
+	// First-fit puts the 50 MB job on "a" (alphabetical), leaving no node
+	// with 90 MB free.
+	if _, _, err := run(FirstFit); err == nil {
+		t.Fatal("first-fit unexpectedly fit the large request")
+	}
+	// Best-fit packs the 50 MB job on "b", preserving "a" for the 90 MB.
+	f, s, err := run(BestFit)
+	if err != nil {
+		t.Fatalf("best-fit failed: %v (first on %s)", err, f)
+	}
+	if f != "b" || s != "a" {
+		t.Fatalf("best-fit placement = %s then %s, want b then a", f, s)
+	}
+}
+
+func TestStrategiesAllRespectLoadFirst(t *testing.T) {
+	// A loaded big node loses to an idle small node under every strategy.
+	c := unevenCluster(t)
+	if _, err := c.Ledger().Reserve("bg", []resource.NodeClaim{
+		{Hostname: "big", CPULoad: 1},
+		{Hostname: "mid", CPULoad: 1},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Strategy{FirstFit, BestFit, WorstFit} {
+		m := New(c.Ledger())
+		if err := m.SetStrategy(s); err != nil {
+			t.Fatal(err)
+		}
+		asg, err := m.Match(Request{Option: oneNodeBundle(t, 32)})
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if asg.Nodes[0].Hostname != "small" {
+			t.Fatalf("%v placed on loaded %s, want idle small", s, asg.Nodes[0].Hostname)
+		}
+	}
+}

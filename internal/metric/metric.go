@@ -1,0 +1,211 @@
+// Package metric implements Harmony's metric interface (Figure 1 of the
+// paper): a unified way to gather data about the performance of
+// applications and their execution environment. Data about system
+// conditions and application resource usage flow into a Bus, and on to both
+// the adaptation controller and individual applications via subscriptions
+// and windowed aggregates.
+package metric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one observation of a named metric.
+type Sample struct {
+	// Name identifies the metric, conventionally dotted like namespace
+	// paths (e.g. "DBclient.66.responseTime", "node.sp2-01.cpuLoad").
+	Name string
+	// Value is the observation.
+	Value float64
+	// At is the (virtual) time of the observation.
+	At time.Duration
+}
+
+// SubscribeFunc receives samples as they are reported.
+type SubscribeFunc func(Sample)
+
+// SubID identifies a subscription.
+type SubID uint64
+
+// Bus collects samples, retains bounded per-metric history, and fans out to
+// subscribers. It is safe for concurrent use.
+type Bus struct {
+	mu      sync.Mutex
+	history map[string][]Sample
+	limit   int
+	subs    []subscription
+	nextID  SubID
+}
+
+type subscription struct {
+	id     SubID
+	prefix string
+	fn     SubscribeFunc
+}
+
+// DefaultHistoryLimit bounds retained samples per metric.
+const DefaultHistoryLimit = 1024
+
+// NewBus returns a bus retaining up to limit samples per metric
+// (DefaultHistoryLimit when limit <= 0).
+func NewBus(limit int) *Bus {
+	if limit <= 0 {
+		limit = DefaultHistoryLimit
+	}
+	return &Bus{history: make(map[string][]Sample), limit: limit}
+}
+
+// Report records a sample and notifies matching subscribers. Subscriber
+// callbacks run on the reporting goroutine, outside the bus lock.
+func (b *Bus) Report(s Sample) error {
+	if s.Name == "" {
+		return errors.New("metric: sample needs a name")
+	}
+	b.mu.Lock()
+	h := append(b.history[s.Name], s)
+	if len(h) > b.limit {
+		h = h[len(h)-b.limit:]
+	}
+	b.history[s.Name] = h
+	var fns []SubscribeFunc
+	for _, sub := range b.subs {
+		if matchesPrefix(s.Name, sub.prefix) {
+			fns = append(fns, sub.fn)
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(s)
+	}
+	return nil
+}
+
+// ReportValue is Report with positional arguments.
+func (b *Bus) ReportValue(name string, value float64, at time.Duration) error {
+	return b.Report(Sample{Name: name, Value: value, At: at})
+}
+
+func matchesPrefix(name, prefix string) bool {
+	if prefix == "" || prefix == name {
+		return true
+	}
+	return len(name) > len(prefix) && name[:len(prefix)] == prefix && name[len(prefix)] == '.'
+}
+
+// Subscribe registers fn for every sample whose name equals prefix or lives
+// beneath it (dotted); empty prefix receives everything.
+func (b *Bus) Subscribe(prefix string, fn SubscribeFunc) (SubID, error) {
+	if fn == nil {
+		return 0, errors.New("metric: nil subscriber")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	b.subs = append(b.subs, subscription{id: b.nextID, prefix: prefix, fn: fn})
+	return b.nextID, nil
+}
+
+// Unsubscribe removes a subscription; unknown ids report false.
+func (b *Bus) Unsubscribe(id SubID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.subs {
+		if b.subs[i].id == id {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Last returns the most recent sample of a metric.
+func (b *Bus) Last(name string) (Sample, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.history[name]
+	if len(h) == 0 {
+		return Sample{}, false
+	}
+	return h[len(h)-1], true
+}
+
+// Window returns samples of name observed at or after since, oldest first.
+func (b *Bus) Window(name string, since time.Duration) []Sample {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.history[name]
+	i := sort.Search(len(h), func(i int) bool { return h[i].At >= since })
+	out := make([]Sample, len(h)-i)
+	copy(out, h[i:])
+	return out
+}
+
+// Names returns the sorted metric names with history.
+func (b *Bus) Names() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	names := make([]string, 0, len(b.history))
+	for n := range b.history {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Stats summarizes a window of samples.
+type Stats struct {
+	// Count is the number of samples.
+	Count int
+	// Mean, Min, Max summarize values; zero when Count is zero.
+	Mean, Min, Max float64
+	// Last is the most recent value.
+	Last float64
+}
+
+// WindowStats aggregates samples of name observed at or after since.
+func (b *Bus) WindowStats(name string, since time.Duration) Stats {
+	samples := b.Window(name, since)
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	st := Stats{Count: len(samples), Min: samples[0].Value, Max: samples[0].Value}
+	sum := 0.0
+	for _, s := range samples {
+		sum += s.Value
+		if s.Value < st.Min {
+			st.Min = s.Value
+		}
+		if s.Value > st.Max {
+			st.Max = s.Value
+		}
+	}
+	st.Mean = sum / float64(len(samples))
+	st.Last = samples[len(samples)-1].Value
+	return st
+}
+
+// Sensor periodically samples a source function into the bus; the paper's
+// metric interface gathers node and link conditions this way.
+type Sensor struct {
+	// Name is the metric reported.
+	Name string
+	// Sample produces the current value.
+	Sample func() float64
+}
+
+// Poll reports one observation from each sensor at time now.
+func Poll(b *Bus, now time.Duration, sensors []Sensor) error {
+	for _, s := range sensors {
+		if s.Sample == nil {
+			return fmt.Errorf("metric: sensor %q has no sample func", s.Name)
+		}
+		if err := b.ReportValue(s.Name, s.Sample(), now); err != nil {
+			return err
+		}
+	}
+	return nil
+}

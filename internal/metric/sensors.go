@@ -1,0 +1,76 @@
+package metric
+
+import (
+	"errors"
+	"fmt"
+
+	"harmony/internal/cluster"
+)
+
+// ClusterSensors builds the standard sensor set for a managed cluster, the
+// "data about system conditions" flowing into the metric interface in the
+// paper's Figure 1: per-node free memory and CPU load, per-link reserved
+// bandwidth, and the aggregate switch utilization.
+func ClusterSensors(cl *cluster.Cluster) ([]Sensor, error) {
+	if cl == nil {
+		return nil, errors.New("metric: nil cluster")
+	}
+	var sensors []Sensor
+	for _, host := range cl.Hosts() {
+		host := host
+		sensors = append(sensors,
+			Sensor{
+				Name: fmt.Sprintf("node.%s.freeMemoryMB", host),
+				Sample: func() float64 {
+					ns, err := cl.Ledger().Node(host)
+					if err != nil {
+						return 0
+					}
+					return ns.FreeMemoryMB
+				},
+			},
+			Sensor{
+				Name: fmt.Sprintf("node.%s.cpuLoad", host),
+				Sample: func() float64 {
+					ns, err := cl.Ledger().Node(host)
+					if err != nil {
+						return 0
+					}
+					return ns.CPULoad
+				},
+			},
+		)
+	}
+	for _, ls := range cl.Ledger().Links() {
+		a, b := ls.Link.A, ls.Link.B
+		sensors = append(sensors, Sensor{
+			Name: fmt.Sprintf("link.%s.%s.reservedMbps", min2(a, b), max2(a, b)),
+			Sample: func() float64 {
+				state, err := cl.Ledger().Link(a, b)
+				if err != nil {
+					return 0
+				}
+				return state.ReservedMbps
+			},
+		})
+	}
+	sensors = append(sensors, Sensor{
+		Name:   "switch.utilization",
+		Sample: cl.SharedSwitchUtilization,
+	})
+	return sensors, nil
+}
+
+func min2(a, b string) string {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b string) string {
+	if a < b {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,64 @@
+package metric
+
+import (
+	"testing"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/resource"
+)
+
+func TestClusterSensors(t *testing.T) {
+	cl, err := cluster.NewSP2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors, err := ClusterSensors(cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 per node (memory + load) + C(3,2)=3 links + 1 switch = 10.
+	if len(sensors) != 10 {
+		t.Fatalf("sensors = %d, want 10", len(sensors))
+	}
+	bus := NewBus(0)
+	if err := Poll(bus, time.Second, sensors); err != nil {
+		t.Fatalf("Poll: %v", err)
+	}
+	s, ok := bus.Last("node.sp2-01.freeMemoryMB")
+	if !ok || s.Value != 128 {
+		t.Fatalf("free memory sample = %+v, %v", s, ok)
+	}
+	if s, ok := bus.Last("switch.utilization"); !ok || s.Value != 0 {
+		t.Fatalf("switch sample = %+v, %v", s, ok)
+	}
+
+	// Reserve resources; the next poll reflects them.
+	if _, err := cl.Ledger().Reserve("x",
+		[]resource.NodeClaim{{Hostname: "sp2-01", MemoryMB: 28, CPULoad: 1.5}},
+		[]resource.LinkClaim{{A: "sp2-01", B: "sp2-02", BandwidthMbps: 160}},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := Poll(bus, 2*time.Second, sensors); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := bus.Last("node.sp2-01.freeMemoryMB"); s.Value != 100 {
+		t.Fatalf("free memory after claim = %g", s.Value)
+	}
+	if s, _ := bus.Last("node.sp2-01.cpuLoad"); s.Value != 1.5 {
+		t.Fatalf("cpu load = %g", s.Value)
+	}
+	if s, _ := bus.Last("link.sp2-01.sp2-02.reservedMbps"); s.Value != 160 {
+		t.Fatalf("link reservation = %g", s.Value)
+	}
+	if s, _ := bus.Last("switch.utilization"); s.Value != 0.5 {
+		t.Fatalf("switch utilization = %g", s.Value)
+	}
+}
+
+func TestClusterSensorsNil(t *testing.T) {
+	if _, err := ClusterSensors(nil); err == nil {
+		t.Fatal("nil cluster accepted")
+	}
+}

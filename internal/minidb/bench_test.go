@@ -1,0 +1,128 @@
+package minidb
+
+import (
+	"math/rand"
+	"testing"
+
+	"harmony/internal/simclock"
+)
+
+func benchEngine(b *testing.B, tuples int) *Engine {
+	b.Helper()
+	e, err := NewEngine(EngineConfig{
+		Clock:             simclock.New(),
+		TuplesPerRelation: tuples,
+		ServerMemoryMB:    64,
+		Seed:              1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkWisconsinGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := MakeWisconsin("w", 19000, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	r, err := MakeWisconsin("w", 19000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildIndex(r, "unique1"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndexRange(b *testing.B) {
+	r, err := MakeWisconsin("w", 19000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := BuildIndex(r, "unique1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rids := idx.Range(int32(i%17000), int32(i%17000)+1900)
+		if len(rids) == 0 {
+			b.Fatal("empty range")
+		}
+	}
+}
+
+func BenchmarkExecuteJoinWarm(b *testing.B) {
+	e := benchEngine(b, 19000)
+	pool, err := NewPool(4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	// Warm the pool once.
+	if _, err := ExecuteJoin(e.TableA, e.TableB, pool, Query{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := RandomQuery(rng, 19000)
+		if _, err := ExecuteJoin(e.TableA, e.TableB, pool, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQSQuerySimulated(b *testing.B) {
+	clock := simclock.New()
+	e, err := NewEngine(EngineConfig{
+		Clock:             clock,
+		TuplesPerRelation: 19000,
+		ServerMemoryMB:    64,
+		Seed:              1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := false
+		if err := s.Run(RandomQuery(rng, 19000), func(QueryResult) { done = true }); err != nil {
+			b.Fatal(err)
+		}
+		clock.RunAll()
+		if !done {
+			b.Fatal("query did not complete")
+		}
+	}
+}
+
+func BenchmarkPoolGet(b *testing.B) {
+	r, err := MakeWisconsin("w", 19000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := NewPool(512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := p.Get(r, int32(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

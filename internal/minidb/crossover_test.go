@@ -1,0 +1,108 @@
+package minidb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"harmony/internal/simclock"
+)
+
+// meanResponse runs `clients` concurrent sessions in the given mode for a
+// fixed number of queries each and returns the grand mean response time.
+// The server cache is pre-warmed so the comparison isolates steady-state
+// behaviour.
+func meanResponse(t *testing.T, mode Mode, clients int) time.Duration {
+	t.Helper()
+	clock := simclock.New()
+	e, err := NewEngine(EngineConfig{
+		Clock:             clock,
+		TuplesPerRelation: testRelSize,
+		ServerMemoryMB:    64,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the server pool.
+	warm, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Run(Query{}, func(QueryResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	warm.Close()
+
+	var total time.Duration
+	count := 0
+	const queriesPerClient = 4
+	for c := 0; c < clients; c++ {
+		s, err := e.NewSession(mode, 17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rng := rand.New(rand.NewSource(int64(c) + 11))
+		remaining := queriesPerClient
+		var issue func()
+		issue = func() {
+			if remaining == 0 {
+				return
+			}
+			remaining--
+			if err := s.Run(RandomQuery(rng, testRelSize), func(r QueryResult) {
+				total += r.ResponseTime()
+				count++
+				issue()
+			}); err != nil {
+				t.Error(err)
+			}
+		}
+		issue()
+	}
+	clock.RunAll()
+	if count != clients*queriesPerClient {
+		t.Fatalf("completed %d queries, want %d", count, clients*queriesPerClient)
+	}
+	return total / time.Duration(count)
+}
+
+// TestQSDSCrossover verifies the engine-level mechanism behind Figure 7:
+// query-shipping wins with few clients (the server is fast and its cache
+// is warm), but its response time grows roughly linearly in the client
+// count while data-shipping stays nearly flat, so the ranking flips.
+func TestQSDSCrossover(t *testing.T) {
+	qs1 := meanResponse(t, QueryShipping, 1)
+	qs3 := meanResponse(t, QueryShipping, 3)
+	ds1 := meanResponse(t, DataShipping, 1)
+	ds3 := meanResponse(t, DataShipping, 3)
+
+	if qs1 >= ds1 {
+		t.Fatalf("one client: QS %v should beat DS %v", qs1, ds1)
+	}
+	if qs3 <= ds3 {
+		t.Fatalf("three clients: DS %v should beat QS %v", ds3, qs3)
+	}
+	// QS degrades super-proportionally to DS.
+	qsGrowth := qs3.Seconds() / qs1.Seconds()
+	dsGrowth := ds3.Seconds() / ds1.Seconds()
+	if qsGrowth < 2 {
+		t.Fatalf("QS growth %0.2f, want >= 2 (server contention)", qsGrowth)
+	}
+	if dsGrowth > qsGrowth {
+		t.Fatalf("DS growth %0.2f exceeds QS growth %0.2f", dsGrowth, qsGrowth)
+	}
+}
+
+// TestDSFlatUnderClientScaling pins down why DS wins at scale: each client
+// burns its own CPU, so adding clients barely moves per-client times.
+func TestDSFlatUnderClientScaling(t *testing.T) {
+	ds1 := meanResponse(t, DataShipping, 1)
+	ds3 := meanResponse(t, DataShipping, 3)
+	ratio := ds3.Seconds() / ds1.Seconds()
+	if ratio > 1.9 {
+		t.Fatalf("DS 3-client/1-client ratio = %.2f, want < 1.9 (link sharing only)", ratio)
+	}
+}

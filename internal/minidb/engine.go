@@ -1,0 +1,360 @@
+package minidb
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"harmony/internal/procsim"
+	"harmony/internal/simclock"
+)
+
+// Mode selects where queries execute (the Figure 3 bundle's two options).
+type Mode int
+
+const (
+	// QueryShipping executes queries at the server (option "QS").
+	QueryShipping Mode = iota + 1
+	// DataShipping ships pages to the client, which executes locally
+	// (option "DS").
+	DataShipping
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case QueryShipping:
+		return "QS"
+	case DataShipping:
+		return "DS"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ModeFromOption maps the RSL option names of Figure 3 to modes.
+func ModeFromOption(name string) (Mode, error) {
+	switch name {
+	case "QS":
+		return QueryShipping, nil
+	case "DS":
+		return DataShipping, nil
+	}
+	return 0, fmt.Errorf("minidb: unknown option %q", name)
+}
+
+// CostConfig converts physical work into virtual time. Defaults are
+// calibrated so one query-shipping query on an idle server completes in
+// roughly 5 virtual seconds, giving Figure 7's phase structure (≈2x at two
+// clients, worse at three, DS ≈ the two-client level).
+type CostConfig struct {
+	// CPUPerTupleSeconds charges selection/join work per tuple or probe op.
+	CPUPerTupleSeconds float64
+	// DiskPerPageSeconds charges a server buffer pool miss (disk read).
+	DiskPerPageSeconds float64
+	// ServerPerPageServeSeconds charges the server CPU for shipping one
+	// page to a data-shipping client.
+	ServerPerPageServeSeconds float64
+	// LinkMbps is the shared client-server switch capacity.
+	LinkMbps float64
+	// ClientSpeed scales client CPUs relative to the server (1.0 = equal).
+	ClientSpeed float64
+}
+
+// DefaultCostConfig mirrors the SP-2 testbed proportions.
+func DefaultCostConfig() CostConfig {
+	return CostConfig{
+		CPUPerTupleSeconds:        100e-6,
+		DiskPerPageSeconds:        400e-6,
+		ServerPerPageServeSeconds: 20e-6,
+		LinkMbps:                  320,
+		ClientSpeed:               1.0,
+	}
+}
+
+// QueryResult reports one completed query.
+type QueryResult struct {
+	// Mode is the mode the query ran under.
+	Mode Mode
+	// Stats is the physical work performed.
+	Stats ExecStats
+	// Started and Finished are virtual timestamps.
+	Started, Finished time.Duration
+	// BytesShipped counts client-server transfer for this query.
+	BytesShipped int
+}
+
+// ResponseTime is Finished - Started.
+func (r QueryResult) ResponseTime() time.Duration { return r.Finished - r.Started }
+
+// Engine is the simulated database server: two Wisconsin tables behind a
+// shared buffer pool, a processor-sharing server CPU, and a shared link.
+type Engine struct {
+	clock *simclock.Clock
+	cfg   CostConfig
+
+	TableA, TableB *Table
+	serverPool     *Pool
+	serverCPU      *procsim.Resource
+	link           *procsim.Resource
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// EngineConfig parameterizes NewEngine.
+type EngineConfig struct {
+	// Clock drives the simulation. Required.
+	Clock *simclock.Clock
+	// TuplesPerRelation sizes each Wisconsin instance (paper: 100,000).
+	TuplesPerRelation int
+	// ServerMemoryMB sizes the server buffer pool.
+	ServerMemoryMB float64
+	// Costs tunes the cost model; zero value takes DefaultCostConfig.
+	Costs CostConfig
+	// Seed perturbs relation generation.
+	Seed int64
+}
+
+// NewEngine builds the server with two freshly generated relations.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("minidb: engine needs a clock")
+	}
+	if cfg.TuplesPerRelation <= 0 {
+		cfg.TuplesPerRelation = 100000
+	}
+	if cfg.ServerMemoryMB <= 0 {
+		cfg.ServerMemoryMB = 64
+	}
+	if cfg.Costs == (CostConfig{}) {
+		cfg.Costs = DefaultCostConfig()
+	}
+	relA, err := MakeWisconsin("wisc_a", cfg.TuplesPerRelation, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	relB, err := MakeWisconsin("wisc_b", cfg.TuplesPerRelation, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	ta, err := NewTable(relA)
+	if err != nil {
+		return nil, err
+	}
+	tb, err := NewTable(relB)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := PoolForMemory(cfg.ServerMemoryMB)
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := procsim.New("db.server.cpu", cfg.Clock, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	link, err := procsim.New("db.link", cfg.Clock, cfg.Costs.LinkMbps*1e6/8) // bytes/s
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		clock:      cfg.Clock,
+		cfg:        cfg.Costs,
+		TableA:     ta,
+		TableB:     tb,
+		serverPool: pool,
+		serverCPU:  cpu,
+		link:       link,
+	}, nil
+}
+
+// ServerPoolStats exposes the shared pool counters (cooperative caching).
+func (e *Engine) ServerPoolStats() PoolStats { return e.serverPool.Stats() }
+
+// ActiveSessions reports connected client sessions.
+func (e *Engine) ActiveSessions() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sessions
+}
+
+// Session is one database client. Its mode is switched by Harmony variable
+// updates; per the paper, in-flight queries complete under the old mode
+// ("database applications usually need to complete the current query
+// before reconfiguring").
+type Session struct {
+	engine *Engine
+	id     int
+
+	mu         sync.Mutex
+	mode       Mode
+	clientPool *Pool
+	clientCPU  *procsim.Resource
+	closed     bool
+}
+
+// NewSession attaches a client in the given mode with the given Harmony
+// memory grant (sizing its private data-shipping cache).
+func (e *Engine) NewSession(mode Mode, clientMemoryMB float64) (*Session, error) {
+	if mode != QueryShipping && mode != DataShipping {
+		return nil, fmt.Errorf("minidb: bad mode %v", mode)
+	}
+	pool, err := PoolForMemory(clientMemoryMB)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.sessions++
+	id := e.sessions
+	e.mu.Unlock()
+	cpu, err := procsim.New(fmt.Sprintf("db.client%d.cpu", id), e.clock, e.cfg.ClientSpeed)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{engine: e, id: id, mode: mode, clientPool: pool, clientCPU: cpu}, nil
+}
+
+// SetMode switches where the session's next query executes.
+func (s *Session) SetMode(mode Mode) error {
+	if mode != QueryShipping && mode != DataShipping {
+		return fmt.Errorf("minidb: bad mode %v", mode)
+	}
+	s.mu.Lock()
+	s.mode = mode
+	s.mu.Unlock()
+	return nil
+}
+
+// SetClientMemory resizes the private cache to a new Harmony grant; the
+// cache restarts cold, as a real reconfiguration would.
+func (s *Session) SetClientMemory(memoryMB float64) error {
+	pool, err := PoolForMemory(memoryMB)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.clientPool = pool
+	s.mu.Unlock()
+	return nil
+}
+
+// Mode reports the current execution mode.
+func (s *Session) Mode() Mode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode
+}
+
+// ClientPoolStats exposes the private cache counters.
+func (s *Session) ClientPoolStats() PoolStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clientPool.Stats()
+}
+
+// Close detaches the session.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.engine.mu.Lock()
+	s.engine.sessions--
+	s.engine.mu.Unlock()
+}
+
+// Run executes one query asynchronously; done fires on the clock goroutine
+// with the result. The mode is latched at submission.
+func (s *Session) Run(q Query, done func(QueryResult)) error {
+	if done == nil {
+		return errors.New("minidb: nil completion callback")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("minidb: session closed")
+	}
+	mode := s.mode
+	clientPool := s.clientPool
+	clientCPU := s.clientCPU
+	s.mu.Unlock()
+
+	start := s.engine.clock.Now()
+	switch mode {
+	case QueryShipping:
+		return s.runQS(q, start, done)
+	case DataShipping:
+		return s.runDS(q, start, clientPool, clientCPU, done)
+	}
+	return fmt.Errorf("minidb: bad mode %v", mode)
+}
+
+// runQS: execute at the server. Physical plan runs against the shared
+// server pool; disk time for misses plus CPU work is charged to the shared
+// server CPU; only result tuples cross the link.
+func (s *Session) runQS(q Query, start time.Duration, done func(QueryResult)) error {
+	e := s.engine
+	stats, err := ExecuteJoin(e.TableA, e.TableB, e.serverPool, q)
+	if err != nil {
+		return err
+	}
+	cpuSeconds := float64(stats.TuplesScanned+stats.ProbeOps+stats.ResultTuples)*e.cfg.CPUPerTupleSeconds +
+		float64(stats.PageMisses)*e.cfg.DiskPerPageSeconds
+	resultBytes := stats.ResultTuples * TupleBytes
+	// Phase 1: server CPU (shared with other QS clients — this is the
+	// contention that drives Figure 7). Phase 2: ship results.
+	return e.serverCPU.Submit(cpuSeconds, func(time.Duration) {
+		err := e.link.Submit(float64(resultBytes), func(at time.Duration) {
+			done(QueryResult{
+				Mode:         QueryShipping,
+				Stats:        stats,
+				Started:      start,
+				Finished:     at,
+				BytesShipped: resultBytes,
+			})
+		})
+		if err != nil {
+			// Clock stopped mid-run; drop the query.
+			_ = err
+		}
+	})
+}
+
+// runDS: the client identifies the pages both selections touch, fetches
+// misses through its private cache (server charges a small per-page serve
+// cost; pages cross the shared link), then executes locally.
+func (s *Session) runDS(q Query, start time.Duration, clientPool *Pool, clientCPU *procsim.Resource, done func(QueryResult)) error {
+	e := s.engine
+	// Execute the plan against the client cache; every miss is a page the
+	// server must ship (this is where a larger Harmony memory grant buys
+	// bandwidth, the Figure 3 tradeoff).
+	stats, err := ExecuteJoin(e.TableA, e.TableB, clientPool, q)
+	if err != nil {
+		return err
+	}
+	missPages := stats.PageMisses
+	shipBytes := missPages * PageBytes
+	clientSeconds := float64(stats.TuplesScanned+stats.ProbeOps+stats.ResultTuples) * e.cfg.CPUPerTupleSeconds
+	serveSeconds := float64(missPages) * e.cfg.ServerPerPageServeSeconds
+
+	// Phase 1: server serves pages (small). Phase 2: pages cross the link
+	// (shared). Phase 3: client executes on its private CPU.
+	return e.serverCPU.Submit(serveSeconds, func(time.Duration) {
+		lerr := e.link.Submit(float64(shipBytes), func(time.Duration) {
+			cerr := clientCPU.Submit(clientSeconds, func(at time.Duration) {
+				done(QueryResult{
+					Mode:         DataShipping,
+					Stats:        stats,
+					Started:      start,
+					Finished:     at,
+					BytesShipped: shipBytes,
+				})
+			})
+			_ = cerr
+		})
+		_ = lerr
+	})
+}

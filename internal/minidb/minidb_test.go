@@ -1,0 +1,593 @@
+package minidb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harmony/internal/simclock"
+)
+
+const testRelSize = 19000 // 1000 pages; fast to generate, same structure
+
+func testEngine(t *testing.T, serverMB float64) (*Engine, *simclock.Clock) {
+	t.Helper()
+	clock := simclock.New()
+	e, err := NewEngine(EngineConfig{
+		Clock:             clock,
+		TuplesPerRelation: testRelSize,
+		ServerMemoryMB:    serverMB,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e, clock
+}
+
+func TestMakeTupleAttributes(t *testing.T) {
+	tp := MakeTuple(137, 42)
+	if tp.Two != 1 || tp.Four != 1 || tp.Ten != 7 || tp.Twenty != 17 {
+		t.Fatalf("mod attrs = %+v", tp)
+	}
+	if tp.OnePercent != 37 || tp.TenPercent != 7 || tp.TwentyPercent != 2 || tp.FiftyPercent != 1 {
+		t.Fatalf("selectivity attrs = %+v", tp)
+	}
+	if tp.Unique1 != 137 || tp.Unique2 != 42 {
+		t.Fatalf("keys = %+v", tp)
+	}
+}
+
+func TestTupleSizeMatchesPaper(t *testing.T) {
+	// 13 int32 attributes + 3×52-byte strings = 208 bytes.
+	if got := 13*4 + 3*52; got != TupleBytes {
+		t.Fatalf("tuple layout = %d bytes, want %d", got, TupleBytes)
+	}
+	if TuplesPerPage != 19 {
+		t.Fatalf("TuplesPerPage = %d, want 19", TuplesPerPage)
+	}
+}
+
+func TestMakeWisconsin(t *testing.T) {
+	r, err := MakeWisconsin("w", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 100 || r.Pages() != 6 { // ceil(100/19)
+		t.Fatalf("relation = n %d pages %d", r.N, r.Pages())
+	}
+	if r.SizeBytes() != 100*208 {
+		t.Fatalf("SizeBytes = %d", r.SizeBytes())
+	}
+	// unique1 is a permutation of 0..99; unique2 sequential.
+	seen := make(map[int32]bool)
+	for p := 0; p < r.Pages(); p++ {
+		tuples, err := r.page(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s, tp := range tuples {
+			if seen[tp.Unique1] {
+				t.Fatalf("duplicate unique1 %d", tp.Unique1)
+			}
+			seen[tp.Unique1] = true
+			if int(tp.Unique2) != p*TuplesPerPage+s {
+				t.Fatalf("unique2 = %d at page %d slot %d", tp.Unique2, p, s)
+			}
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("unique1 count = %d", len(seen))
+	}
+	if _, err := MakeWisconsin("w", 0, 1); err == nil {
+		t.Fatal("zero-size relation accepted")
+	}
+	if _, err := r.page(99); err == nil {
+		t.Fatal("out-of-range page accepted")
+	}
+}
+
+func TestPoolLRU(t *testing.T) {
+	r, err := MakeWisconsin("w", 19*4, 1) // 4 pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(page int32) bool {
+		_, hit, err := p.Get(r, page)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	if get(0) || get(1) {
+		t.Fatal("cold pool hit")
+	}
+	if !get(0) {
+		t.Fatal("warm page missed")
+	}
+	// Page 1 is now LRU; inserting 2 evicts it.
+	if get(2) {
+		t.Fatal("new page hit")
+	}
+	if get(1) {
+		t.Fatal("evicted page hit")
+	}
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 4 || st.Evictions != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.2 {
+		t.Fatalf("hit rate = %g", st.HitRate())
+	}
+	if p.Len() != 2 || p.Capacity() != 2 {
+		t.Fatalf("len/cap = %d/%d", p.Len(), p.Capacity())
+	}
+	p.Reset()
+	if p.Len() != 0 || p.Stats().Misses != 0 {
+		t.Fatal("Reset incomplete")
+	}
+	if _, err := NewPool(0); err == nil {
+		t.Fatal("zero-capacity pool accepted")
+	}
+}
+
+func TestPoolForMemory(t *testing.T) {
+	p, err := PoolForMemory(1) // 1 MB = 256 pages
+	if err != nil || p.Capacity() != 256 {
+		t.Fatalf("capacity = %d, %v", p.Capacity(), err)
+	}
+	p, err = PoolForMemory(0.0001)
+	if err != nil || p.Capacity() != 1 {
+		t.Fatalf("tiny grant capacity = %d, %v", p.Capacity(), err)
+	}
+}
+
+func TestIndexLookupAndRange(t *testing.T) {
+	r, err := MakeWisconsin("w", 1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(r, "unique1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Attr() != "unique1" || idx.Len() != 1000 {
+		t.Fatalf("index meta = %s/%d", idx.Attr(), idx.Len())
+	}
+	rids := idx.Lookup(500)
+	if len(rids) != 1 {
+		t.Fatalf("Lookup(500) = %v", rids)
+	}
+	if got := len(idx.Range(100, 200)); got != 100 {
+		t.Fatalf("Range(100,200) = %d rids", got)
+	}
+	if got := len(idx.Range(990, 2000)); got != 10 {
+		t.Fatalf("Range over end = %d", got)
+	}
+	if got := len(idx.Range(5, 5)); got != 0 {
+		t.Fatalf("empty range = %d", got)
+	}
+	if _, err := BuildIndex(r, "nope"); err == nil {
+		t.Fatal("unknown attribute indexed")
+	}
+	// tenPercent index groups 100 tuples per key.
+	tidx, err := BuildIndex(r, "tenPercent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tidx.Lookup(3)); got != 100 {
+		t.Fatalf("tenPercent Lookup = %d", got)
+	}
+}
+
+func TestExecuteJoinSelectivityAndMatches(t *testing.T) {
+	e, _ := testEngine(t, 64)
+	pool, err := NewPool(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ExecuteJoin(e.TableA, e.TableB, pool, Query{LoA: 0, LoB: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := testRelSize / 10
+	if stats.TuplesScanned != 2*span {
+		t.Fatalf("scanned %d, want %d", stats.TuplesScanned, 2*span)
+	}
+	// Expected matches ~= span * 10% = 190; allow generous slack for the
+	// random permutations.
+	if stats.ResultTuples < span/20 || stats.ResultTuples > span/3 {
+		t.Fatalf("matches = %d, want near %d", stats.ResultTuples, span/10)
+	}
+	if stats.IndexLookups != 2 {
+		t.Fatalf("index lookups = %d", stats.IndexLookups)
+	}
+	if stats.PageMisses == 0 || stats.PageMisses > e.TableA.Rel.Pages()+e.TableB.Rel.Pages() {
+		t.Fatalf("page misses = %d", stats.PageMisses)
+	}
+	if _, err := ExecuteJoin(nil, e.TableB, pool, Query{}); err == nil {
+		t.Fatal("nil table accepted")
+	}
+}
+
+func TestSelectPagesMatchesMissesOnColdPool(t *testing.T) {
+	e, _ := testEngine(t, 64)
+	pages := SelectPages(e.TableA, 100)
+	pool, err := NewPool(100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples, stats, err := indexSelect(e.TableA, pool, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != testRelSize/10 {
+		t.Fatalf("selected %d tuples", len(tuples))
+	}
+	if stats.PageMisses != len(pages) {
+		t.Fatalf("cold misses %d != distinct pages %d", stats.PageMisses, len(pages))
+	}
+}
+
+func TestModeStringAndFromOption(t *testing.T) {
+	if QueryShipping.String() != "QS" || DataShipping.String() != "DS" {
+		t.Fatal("Mode.String broken")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode string empty")
+	}
+	m, err := ModeFromOption("QS")
+	if err != nil || m != QueryShipping {
+		t.Fatal("ModeFromOption QS")
+	}
+	m, err = ModeFromOption("DS")
+	if err != nil || m != DataShipping {
+		t.Fatal("ModeFromOption DS")
+	}
+	if _, err := ModeFromOption("XX"); err == nil {
+		t.Fatal("unknown option accepted")
+	}
+}
+
+func TestQSQueryCompletesWithPlausibleTime(t *testing.T) {
+	e, clock := testEngine(t, 64)
+	s, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var res QueryResult
+	if err := s.Run(Query{LoA: 0, LoB: 0}, func(r QueryResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if res.Mode != QueryShipping || res.Finished <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	rt := res.ResponseTime()
+	// ~4200 tuple-ops * 100µs + ~1700 misses * 400µs ≈ 1.1 s for the
+	// 19000-tuple test relations; just sanity-check the magnitude.
+	if rt < 100*time.Millisecond || rt > 10*time.Second {
+		t.Fatalf("QS response time = %v", rt)
+	}
+	if res.BytesShipped != res.Stats.ResultTuples*TupleBytes {
+		t.Fatalf("QS shipped %d bytes for %d results", res.BytesShipped, res.Stats.ResultTuples)
+	}
+}
+
+func TestQSContentionDoublesResponseTime(t *testing.T) {
+	// Warm the server cache first so IO doesn't blur the CPU contention.
+	e, clock := testEngine(t, 64)
+	warm, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Run(Query{LoA: 0, LoB: 0}, func(QueryResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	warm.Close()
+
+	single := runConcurrentQS(t, e, clock, 1)
+	double := runConcurrentQS(t, e, clock, 2)
+	ratio := double.Seconds() / single.Seconds()
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Fatalf("2-client/1-client response ratio = %.2f (1: %v, 2: %v), want ~2",
+			ratio, single, double)
+	}
+}
+
+// runConcurrentQS runs one identical warm-cache query per client
+// simultaneously and returns the mean response time.
+func runConcurrentQS(t *testing.T, e *Engine, clock *simclock.Clock, clients int) time.Duration {
+	t.Helper()
+	var sum time.Duration
+	n := 0
+	var sessions []*Session
+	for i := 0; i < clients; i++ {
+		s, err := e.NewSession(QueryShipping, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions = append(sessions, s)
+		if err := s.Run(Query{LoA: 0, LoB: 0}, func(r QueryResult) {
+			sum += r.ResponseTime()
+			n++
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clock.RunAll()
+	for _, s := range sessions {
+		s.Close()
+	}
+	if n != clients {
+		t.Fatalf("completed %d queries, want %d", n, clients)
+	}
+	return sum / time.Duration(n)
+}
+
+func TestDSUsesClientCPUNotServer(t *testing.T) {
+	e, clock := testEngine(t, 64)
+	s, err := e.NewSession(DataShipping, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var res QueryResult
+	if err := s.Run(Query{LoA: 0, LoB: 0}, func(r QueryResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if res.Mode != DataShipping {
+		t.Fatalf("mode = %v", res.Mode)
+	}
+	if res.BytesShipped != res.Stats.PageMisses*PageBytes {
+		t.Fatalf("DS shipped %d bytes for %d misses", res.BytesShipped, res.Stats.PageMisses)
+	}
+	// Second identical query: warm client cache, nothing shipped.
+	var res2 QueryResult
+	if err := s.Run(Query{LoA: 0, LoB: 0}, func(r QueryResult) { res2 = r }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if res2.BytesShipped != 0 {
+		t.Fatalf("warm DS shipped %d bytes", res2.BytesShipped)
+	}
+	if res2.ResponseTime() >= res.ResponseTime() {
+		t.Fatalf("warm DS (%v) not faster than cold (%v)", res2.ResponseTime(), res.ResponseTime())
+	}
+}
+
+func TestDSMemoryGrantReducesShippedBytes(t *testing.T) {
+	run := func(memMB float64) int {
+		e, clock := testEngine(t, 64)
+		s, err := e.NewSession(DataShipping, memMB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		rng := rand.New(rand.NewSource(5))
+		shipped := 0
+		var loop func()
+		count := 0
+		loop = func() {
+			if count >= 8 {
+				return
+			}
+			count++
+			q := RandomQuery(rng, testRelSize)
+			if err := s.Run(q, func(r QueryResult) {
+				shipped += r.BytesShipped
+				loop()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		loop()
+		clock.RunAll()
+		return shipped
+	}
+	small := run(0.5) // 128 pages: thrashes
+	large := run(16)  // 4096 pages: holds the working set
+	if large >= small {
+		t.Fatalf("memory grant did not reduce shipping: small=%d large=%d", small, large)
+	}
+}
+
+func TestCooperativeCachingAcrossQSClients(t *testing.T) {
+	e, clock := testEngine(t, 64)
+	s1, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	if err := s1.Run(Query{LoA: 0, LoB: 0}, func(QueryResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	missesAfterFirst := e.ServerPoolStats().Misses
+	// A different client running the same query benefits from the shared
+	// pool: no new misses.
+	s2, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if err := s2.Run(Query{LoA: 0, LoB: 0}, func(QueryResult) {}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if got := e.ServerPoolStats().Misses; got != missesAfterFirst {
+		t.Fatalf("second client caused %d new misses", got-missesAfterFirst)
+	}
+}
+
+func TestSessionModeSwitchAndValidation(t *testing.T) {
+	e, _ := testEngine(t, 64)
+	s, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Mode() != QueryShipping {
+		t.Fatal("initial mode")
+	}
+	if err := s.SetMode(DataShipping); err != nil || s.Mode() != DataShipping {
+		t.Fatal("SetMode failed")
+	}
+	if err := s.SetMode(Mode(0)); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := s.SetClientMemory(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetClientMemory(-1); err == nil {
+		// PoolForMemory clamps to 1 page; -1 MB still yields 1 page.
+		t.Log("negative memory clamped")
+	}
+	if _, err := e.NewSession(Mode(0), 2); err == nil {
+		t.Fatal("bad session mode accepted")
+	}
+	if err := s.Run(Query{}, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+	s.Close()
+	if err := s.Run(Query{}, func(QueryResult) {}); err == nil {
+		t.Fatal("closed session ran query")
+	}
+	s.Close() // idempotent
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := NewEngine(EngineConfig{}); err == nil {
+		t.Fatal("engine without clock accepted")
+	}
+	clock := simclock.New()
+	e, err := NewEngine(EngineConfig{Clock: clock, TuplesPerRelation: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ActiveSessions() != 0 {
+		t.Fatal("fresh engine has sessions")
+	}
+	s, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.ActiveSessions() != 1 {
+		t.Fatal("session not counted")
+	}
+	s.Close()
+	if e.ActiveSessions() != 0 {
+		t.Fatal("session not released")
+	}
+}
+
+func TestClientLoopRunsBackToBack(t *testing.T) {
+	e, clock := testEngine(t, 64)
+	s, err := e.NewSession(QueryShipping, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var recorded int
+	loop, err := StartClientLoop(s, 11, func(QueryResult) { recorded++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Run(30 * time.Second)
+	loop.Stop()
+	clock.RunAll()
+	results := loop.Results()
+	if len(results) < 3 {
+		t.Fatalf("loop completed %d queries in 30 virtual seconds", len(results))
+	}
+	if recorded != len(results) {
+		t.Fatalf("recorded %d != results %d", recorded, len(results))
+	}
+	// Back-to-back: each query starts when the previous finished.
+	for i := 1; i < len(results); i++ {
+		if results[i].Started != results[i-1].Finished {
+			t.Fatalf("query %d started %v, previous finished %v",
+				i, results[i].Started, results[i-1].Finished)
+		}
+	}
+	mean, ok := loop.MeanResponseBetween(0, 30*time.Second)
+	if !ok || mean <= 0 {
+		t.Fatalf("mean = %v, %v", mean, ok)
+	}
+	if _, ok := loop.MeanResponseBetween(1000*time.Hour, 2000*time.Hour); ok {
+		t.Fatal("empty window reported ok")
+	}
+	if _, err := StartClientLoop(nil, 1, nil); err == nil {
+		t.Fatal("nil session accepted")
+	}
+}
+
+// Property: selections always return exactly n/10 tuples for in-range
+// starts, and every returned tuple is within the range.
+func TestPropertySelectionExact(t *testing.T) {
+	r, err := MakeWisconsin("w", 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewTable(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := NewPool(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(loRaw uint16) bool {
+		lo := int32(loRaw) % 1800
+		tuples, _, err := indexSelect(tbl, pool, lo)
+		if err != nil || len(tuples) != 200 {
+			return false
+		}
+		for _, tp := range tuples {
+			if tp.Unique1 < lo || tp.Unique1 >= lo+200 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pool hit+miss count equals requests, and Len never exceeds
+// capacity, for arbitrary access strings.
+func TestPropertyPoolInvariants(t *testing.T) {
+	r, err := MakeWisconsin("w", 19*50, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(accesses []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		p, err := NewPool(capacity)
+		if err != nil {
+			return false
+		}
+		for _, a := range accesses {
+			if _, _, err := p.Get(r, int32(a)%50); err != nil {
+				return false
+			}
+			if p.Len() > capacity {
+				return false
+			}
+		}
+		st := p.Stats()
+		return st.Hits+st.Misses == int64(len(accesses))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package minidb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Query is the paper's workload unit: "similar, but randomly perturbed join
+// queries over two instances of the Wisconsin benchmark relations ... In
+// each query, tuples from both relations are selected on an indexed
+// attribute (10% selectivity) and then joined on a unique attribute."
+// Selections are ranges on the indexed unique1 attribute covering 10% of
+// each relation; the join equates unique2. With both selections drawing
+// random 10% subsets of positions, a query over n-tuple relations yields
+// about n/100 matches.
+type Query struct {
+	// LoA and LoB are the unique1 range starts; each selection covers
+	// [Lo, Lo + n/10). The random starts are the perturbation between
+	// queries.
+	LoA, LoB int32
+}
+
+// SelectivityDenominator fixes the benchmark's 10% selectivity.
+const SelectivityDenominator = 10
+
+// RandomQuery draws a perturbed query over n-tuple relations from rng.
+func RandomQuery(rng *rand.Rand, n int) Query {
+	span := n - n/SelectivityDenominator
+	if span < 1 {
+		span = 1
+	}
+	return Query{LoA: int32(rng.Intn(span)), LoB: int32(rng.Intn(span))}
+}
+
+// ExecStats accounts for one query execution's physical work; the engine
+// turns these into virtual-time costs.
+type ExecStats struct {
+	// TuplesScanned counts tuples read during the selections.
+	TuplesScanned int
+	// ProbeOps counts hash-join build inserts plus probe lookups.
+	ProbeOps int
+	// ResultTuples counts join output tuples.
+	ResultTuples int
+	// PageRequests, PageHits, PageMisses count buffer pool traffic.
+	PageRequests, PageHits, PageMisses int
+	// IndexLookups counts index probes.
+	IndexLookups int
+}
+
+// add merges o into s.
+func (s *ExecStats) add(o ExecStats) {
+	s.TuplesScanned += o.TuplesScanned
+	s.ProbeOps += o.ProbeOps
+	s.ResultTuples += o.ResultTuples
+	s.PageRequests += o.PageRequests
+	s.PageHits += o.PageHits
+	s.PageMisses += o.PageMisses
+	s.IndexLookups += o.IndexLookups
+}
+
+// Table bundles a relation with its indexes for execution.
+type Table struct {
+	// Rel is the stored relation.
+	Rel *Relation
+	// SelIndex is the index on the selection attribute (unique1).
+	SelIndex *Index
+}
+
+// NewTable builds a table with a unique1 selection index.
+func NewTable(rel *Relation) (*Table, error) {
+	idx, err := BuildIndex(rel, "unique1")
+	if err != nil {
+		return nil, err
+	}
+	return &Table{Rel: rel, SelIndex: idx}, nil
+}
+
+// selSpan is the tuple count of one 10% selection.
+func selSpan(tbl *Table) int32 {
+	span := int32(tbl.Rel.N / SelectivityDenominator)
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// indexSelect runs a 10% range selection through the pool, returning the
+// matching tuples and the physical stats.
+func indexSelect(tbl *Table, pool *Pool, lo int32) ([]Tuple, ExecStats, error) {
+	var stats ExecStats
+	rids := tbl.SelIndex.Range(lo, lo+selSpan(tbl))
+	stats.IndexLookups = 1
+	out := make([]Tuple, 0, len(rids))
+	var curPage int32 = -1
+	var tuples []Tuple
+	for _, rid := range rids {
+		if rid.Page != curPage {
+			var hit bool
+			var err error
+			tuples, hit, err = pool.Get(tbl.Rel, rid.Page)
+			if err != nil {
+				return nil, stats, err
+			}
+			stats.PageRequests++
+			if hit {
+				stats.PageHits++
+			} else {
+				stats.PageMisses++
+			}
+			curPage = rid.Page
+		}
+		if int(rid.Slot) >= len(tuples) {
+			return nil, stats, fmt.Errorf("minidb: rid %v out of range", rid)
+		}
+		out = append(out, tuples[rid.Slot])
+		stats.TuplesScanned++
+	}
+	return out, stats, nil
+}
+
+// hashJoin joins two tuple sets on the unique2 attribute.
+func hashJoin(left, right []Tuple) (int, ExecStats) {
+	var stats ExecStats
+	build := make(map[int32]int, len(left))
+	for i := range left {
+		build[left[i].Unique2]++
+		stats.ProbeOps++
+	}
+	matches := 0
+	for i := range right {
+		stats.ProbeOps++
+		matches += build[right[i].Unique2]
+	}
+	stats.ResultTuples = matches
+	return matches, stats
+}
+
+// ExecuteJoin runs the full benchmark query against two tables through one
+// buffer pool (wherever the query executes — server for query-shipping,
+// client for data-shipping).
+func ExecuteJoin(a, b *Table, pool *Pool, q Query) (ExecStats, error) {
+	if a == nil || b == nil || pool == nil {
+		return ExecStats{}, fmt.Errorf("minidb: ExecuteJoin needs two tables and a pool")
+	}
+	var total ExecStats
+	left, s1, err := indexSelect(a, pool, q.LoA)
+	if err != nil {
+		return total, err
+	}
+	total.add(s1)
+	right, s2, err := indexSelect(b, pool, q.LoB)
+	if err != nil {
+		return total, err
+	}
+	total.add(s2)
+	_, s3 := hashJoin(left, right)
+	total.add(s3)
+	return total, nil
+}
+
+// SelectPages returns the distinct pages a 10% selection starting at lo
+// touches; data-shipping clients must hold (or fetch) exactly these pages.
+func SelectPages(tbl *Table, lo int32) []int32 {
+	rids := tbl.SelIndex.Range(lo, lo+selSpan(tbl))
+	seen := make(map[int32]bool)
+	var pages []int32
+	for _, rid := range rids {
+		if !seen[rid.Page] {
+			seen[rid.Page] = true
+			pages = append(pages, rid.Page)
+		}
+	}
+	return pages
+}

@@ -1,0 +1,230 @@
+package minidb
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// PageBytes is the storage page size.
+const PageBytes = 4096
+
+// TuplesPerPage is how many 208-byte tuples fit a 4 KB page.
+const TuplesPerPage = PageBytes / TupleBytes
+
+// PoolStats summarizes buffer pool traffic.
+type PoolStats struct {
+	// Hits and Misses count page requests served from / past the pool.
+	Hits, Misses int64
+	// Evictions counts pages dropped to make room.
+	Evictions int64
+}
+
+// HitRate is Hits / (Hits + Misses), zero when empty.
+func (s PoolStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Pool is an LRU page buffer pool. The server's pool is shared by all
+// query-shipping clients — the paper attributes one client's better
+// response time to "cooperative caching effects on the server since all
+// clients are accessing the same relations" — while each data-shipping
+// client has a private pool whose size is the memory Harmony granted it.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	lru      *list.List // front = most recent; values are pageKey
+	entries  map[pageKey]*list.Element
+	stats    PoolStats
+}
+
+type pageKey struct {
+	rel  string
+	page int32
+}
+
+// NewPool builds a pool holding up to capacityPages pages.
+func NewPool(capacityPages int) (*Pool, error) {
+	if capacityPages < 1 {
+		return nil, fmt.Errorf("minidb: pool capacity %d must be >= 1", capacityPages)
+	}
+	return &Pool{
+		capacity: capacityPages,
+		lru:      list.New(),
+		entries:  make(map[pageKey]*list.Element, capacityPages),
+	}, nil
+}
+
+// PoolForMemory sizes a pool from a memory grant in MB (at least one page).
+func PoolForMemory(memoryMB float64) (*Pool, error) {
+	pages := int(memoryMB * 1024 * 1024 / PageBytes)
+	if pages < 1 {
+		pages = 1
+	}
+	return NewPool(pages)
+}
+
+// Capacity reports the pool size in pages.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Get fetches one page of rel through the pool, reporting whether it was a
+// hit. Misses install the page, evicting the least recently used entry.
+func (p *Pool) Get(rel *Relation, pageNo int32) ([]Tuple, bool, error) {
+	tuples, err := rel.page(int(pageNo))
+	if err != nil {
+		return nil, false, err
+	}
+	key := pageKey{rel: rel.Name, page: pageNo}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.entries[key]; ok {
+		p.lru.MoveToFront(el)
+		p.stats.Hits++
+		return tuples, true, nil
+	}
+	p.stats.Misses++
+	if p.lru.Len() >= p.capacity {
+		oldest := p.lru.Back()
+		if oldest != nil {
+			if k, ok := oldest.Value.(pageKey); ok {
+				delete(p.entries, k)
+			}
+			p.lru.Remove(oldest)
+			p.stats.Evictions++
+		}
+	}
+	p.entries[key] = p.lru.PushFront(key)
+	return tuples, false, nil
+}
+
+// Contains reports whether a page is cached (no LRU side effects).
+func (p *Pool) Contains(relName string, pageNo int32) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.entries[pageKey{rel: relName, page: pageNo}]
+	return ok
+}
+
+// Len reports the number of cached pages.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lru.Len()
+}
+
+// Stats returns a copy of the counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Reset empties the pool and zeroes the counters.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lru.Init()
+	p.entries = make(map[pageKey]*list.Element, p.capacity)
+	p.stats = PoolStats{}
+}
+
+// Index is an ordered secondary index mapping attribute values to RIDs,
+// built with a sort and searched with binary search — the moral equivalent
+// of the benchmark's B-tree for a read-only workload.
+type Index struct {
+	attr    string
+	entries []indexEntry
+}
+
+type indexEntry struct {
+	key int32
+	rid RID
+}
+
+// Attribute selectors available for indexing.
+var attrSelectors = map[string]func(*Tuple) int32{
+	"unique1":    func(t *Tuple) int32 { return t.Unique1 },
+	"unique2":    func(t *Tuple) int32 { return t.Unique2 },
+	"tenPercent": func(t *Tuple) int32 { return t.TenPercent },
+	"onePercent": func(t *Tuple) int32 { return t.OnePercent },
+}
+
+// BuildIndex indexes rel on the named attribute.
+func BuildIndex(rel *Relation, attr string) (*Index, error) {
+	sel, ok := attrSelectors[attr]
+	if !ok {
+		return nil, fmt.Errorf("minidb: no such indexable attribute %q", attr)
+	}
+	idx := &Index{attr: attr, entries: make([]indexEntry, 0, rel.N)}
+	for pageNo := range rel.pages {
+		for slot := range rel.pages[pageNo] {
+			t := &rel.pages[pageNo][slot]
+			idx.entries = append(idx.entries, indexEntry{
+				key: sel(t),
+				rid: RID{Page: int32(pageNo), Slot: int32(slot)},
+			})
+		}
+	}
+	sortEntries(idx.entries)
+	return idx, nil
+}
+
+// sortEntries orders the index by (key, page, slot) for deterministic
+// range scans.
+func sortEntries(es []indexEntry) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		if a.rid.Page != b.rid.Page {
+			return a.rid.Page < b.rid.Page
+		}
+		return a.rid.Slot < b.rid.Slot
+	})
+}
+
+// Attr reports the indexed attribute name.
+func (i *Index) Attr() string { return i.attr }
+
+// Len reports the number of index entries.
+func (i *Index) Len() int { return len(i.entries) }
+
+// Lookup returns the RIDs whose key equals v, in (page, slot) order.
+func (i *Index) Lookup(v int32) []RID {
+	lo := i.lowerBound(v)
+	var out []RID
+	for j := lo; j < len(i.entries) && i.entries[j].key == v; j++ {
+		out = append(out, i.entries[j].rid)
+	}
+	return out
+}
+
+// Range returns the RIDs whose key lies in [lo, hi), in key order.
+func (i *Index) Range(lo, hi int32) []RID {
+	start := i.lowerBound(lo)
+	var out []RID
+	for j := start; j < len(i.entries) && i.entries[j].key < hi; j++ {
+		out = append(out, i.entries[j].rid)
+	}
+	return out
+}
+
+// lowerBound finds the first entry with key >= v.
+func (i *Index) lowerBound(v int32) int {
+	lo, hi := 0, len(i.entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if i.entries[mid].key < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,126 @@
+// Package minidb is a miniature relational engine standing in for
+// Tornadito/SHORE in the paper's database experiment (Section 6): Wisconsin
+// benchmark relations of 208-byte tuples, heap-file storage behind an LRU
+// buffer pool, an ordered index, selection and hash-join operators, and
+// query-shipping / data-shipping executors whose costs play out on
+// discrete-event CPU and link resources. The engine reproduces the
+// behaviours Figure 7 depends on: server load that grows with the number of
+// query-shipping clients, cooperative caching at the server, and a
+// memory-for-bandwidth tradeoff at data-shipping clients.
+package minidb
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// TupleBytes is the Wisconsin benchmark tuple size used in the paper's
+// workload ("100,000 208-byte tuples").
+const TupleBytes = 208
+
+// Tuple is one Wisconsin benchmark record: thirteen 4-byte integer
+// attributes (52 bytes) plus three 52-byte string attributes, 208 bytes in
+// all, following Gray's Benchmark Handbook definition.
+type Tuple struct {
+	// Unique1 is a dense unique key 0..n-1 in random order.
+	Unique1 int32
+	// Unique2 is the sequential position 0..n-1.
+	Unique2 int32
+	// Two, Four, Ten, Twenty are Unique1 mod 2/4/10/20.
+	Two, Four, Ten, Twenty int32
+	// OnePercent, TenPercent, TwentyPercent, FiftyPercent are Unique1 mod
+	// 100/10/5/2: selections on them yield the named selectivity.
+	OnePercent, TenPercent, TwentyPercent, FiftyPercent int32
+	// Unique3, EvenOnePercent, OddOnePercent are derived per the benchmark.
+	Unique3, EvenOnePercent, OddOnePercent int32
+	// StringU1, StringU2, String4 pad the record to 208 bytes.
+	StringU1, StringU2, String4 [52]byte
+}
+
+// MakeTuple derives every attribute from (unique1, unique2).
+func MakeTuple(unique1, unique2 int32) Tuple {
+	t := Tuple{
+		Unique1:        unique1,
+		Unique2:        unique2,
+		Two:            unique1 % 2,
+		Four:           unique1 % 4,
+		Ten:            unique1 % 10,
+		Twenty:         unique1 % 20,
+		OnePercent:     unique1 % 100,
+		TenPercent:     unique1 % 10,
+		TwentyPercent:  unique1 % 5,
+		FiftyPercent:   unique1 % 2,
+		Unique3:        unique1,
+		EvenOnePercent: (unique1 % 100) * 2,
+		OddOnePercent:  (unique1%100)*2 + 1,
+	}
+	fillString(&t.StringU1, unique1)
+	fillString(&t.StringU2, unique2)
+	fillString(&t.String4, unique1%4)
+	return t
+}
+
+// fillString writes the benchmark's cyclic letter padding.
+func fillString(dst *[52]byte, seed int32) {
+	const letters = "ABCDEFGHIJKLMNOPQRSTUVWXY"
+	v := seed
+	for i := range dst {
+		dst[i] = letters[int(v)%len(letters)]
+		v = v/int32(len(letters)) + 1 + int32(i)
+	}
+}
+
+// Relation is a named Wisconsin relation stored as pages of tuples.
+type Relation struct {
+	// Name identifies the relation ("wisc_a", "wisc_b").
+	Name string
+	// N is the tuple count.
+	N     int
+	pages [][]Tuple
+}
+
+// MakeWisconsin generates an n-tuple relation with unique1 a seeded random
+// permutation of 0..n-1, matching the benchmark's construction. The paper's
+// experiments use two instances with n = 100,000.
+func MakeWisconsin(name string, n int, seed int64) (*Relation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("minidb: relation size %d must be positive", n)
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	r := &Relation{Name: name, N: n}
+	page := make([]Tuple, 0, TuplesPerPage)
+	for i := 0; i < n; i++ {
+		page = append(page, MakeTuple(int32(perm[i]), int32(i)))
+		if len(page) == TuplesPerPage {
+			r.pages = append(r.pages, page)
+			page = make([]Tuple, 0, TuplesPerPage)
+		}
+	}
+	if len(page) > 0 {
+		r.pages = append(r.pages, page)
+	}
+	return r, nil
+}
+
+// Pages reports the number of pages in the relation.
+func (r *Relation) Pages() int { return len(r.pages) }
+
+// SizeBytes reports the relation's storage footprint.
+func (r *Relation) SizeBytes() int { return r.N * TupleBytes }
+
+// page returns the tuples of one page (storage-level access; normal reads
+// go through a Pool).
+func (r *Relation) page(no int) ([]Tuple, error) {
+	if no < 0 || no >= len(r.pages) {
+		return nil, fmt.Errorf("minidb: %s has no page %d", r.Name, no)
+	}
+	return r.pages[no], nil
+}
+
+// RID addresses one tuple: page number and slot within the page.
+type RID struct {
+	// Page is the page number.
+	Page int32
+	// Slot is the index within the page.
+	Slot int32
+}

@@ -1,0 +1,98 @@
+package minidb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ClientLoop drives one session with back-to-back randomly perturbed
+// queries, as each client in the paper's experiment does, recording every
+// result. It runs entirely on the virtual clock: each completion submits
+// the next query until Stop.
+type ClientLoop struct {
+	session *Session
+	rng     *rand.Rand
+	record  func(QueryResult)
+
+	mu      sync.Mutex
+	stopped bool
+	results []QueryResult
+}
+
+// StartClientLoop begins issuing queries on the session. The optional
+// record callback observes each result (on the clock goroutine); results
+// are also retained for Results.
+func StartClientLoop(s *Session, seed int64, record func(QueryResult)) (*ClientLoop, error) {
+	if s == nil {
+		return nil, errors.New("minidb: nil session")
+	}
+	l := &ClientLoop{
+		session: s,
+		rng:     rand.New(rand.NewSource(seed)),
+		record:  record,
+	}
+	if err := l.issue(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *ClientLoop) issue() error {
+	q := RandomQuery(l.rng, l.session.engine.TableA.Rel.N)
+	return l.session.Run(q, l.onDone)
+}
+
+func (l *ClientLoop) onDone(res QueryResult) {
+	l.mu.Lock()
+	l.results = append(l.results, res)
+	stopped := l.stopped
+	rec := l.record
+	l.mu.Unlock()
+	if rec != nil {
+		rec(res)
+	}
+	if !stopped {
+		// Submit the next query at the current virtual instant; errors
+		// (clock stopped) terminate the loop.
+		if err := l.issue(); err != nil {
+			l.Stop()
+		}
+	}
+}
+
+// Stop prevents further queries; the in-flight query still completes.
+func (l *ClientLoop) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+}
+
+// Results copies the completed query results so far.
+func (l *ClientLoop) Results() []QueryResult {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]QueryResult, len(l.results))
+	copy(out, l.results)
+	return out
+}
+
+// MeanResponseBetween averages response times of queries finishing within
+// [from, to); ok is false when none did.
+func (l *ClientLoop) MeanResponseBetween(from, to time.Duration) (time.Duration, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var sum time.Duration
+	n := 0
+	for _, r := range l.results {
+		if r.Finished >= from && r.Finished < to {
+			sum += r.ResponseTime()
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / time.Duration(n), true
+}

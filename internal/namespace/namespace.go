@@ -1,0 +1,416 @@
+// Package namespace implements Harmony's hierarchical namespace
+// (Section 3.2 of "Exposing Application Alternatives").
+//
+// The namespace is shared between the adaptation controller and
+// applications. Fully qualified names are dotted paths of the form
+//
+//	application.instance.bundle.option.resource.tag
+//
+// e.g. DBclient.66.where.DS.client.memory holds the memory allocated to the
+// client node of the data-shipping option of instance 66 of DBclient. The
+// tree also publishes resource availability under a "resources" subtree.
+// Leaves hold either numeric or string values; interior nodes are pure
+// directories. The tree is safe for concurrent use and supports watches
+// that fire on any mutation beneath a prefix.
+package namespace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Errors reported by namespace operations.
+var (
+	// ErrNotFound is returned when a path does not exist.
+	ErrNotFound = errors.New("namespace: path not found")
+	// ErrNotLeaf is returned when a value operation targets a directory.
+	ErrNotLeaf = errors.New("namespace: path is a directory")
+	// ErrBadPath is returned for malformed paths.
+	ErrBadPath = errors.New("namespace: malformed path")
+)
+
+// Value is a leaf value: a number or a string.
+type Value struct {
+	// Num holds the numeric value when IsString is false.
+	Num float64
+	// Str holds the string value when IsString is true.
+	Str string
+	// IsString distinguishes the two arms.
+	IsString bool
+}
+
+// NumValue builds a numeric Value.
+func NumValue(v float64) Value { return Value{Num: v} }
+
+// StrValue builds a string Value.
+func StrValue(s string) Value { return Value{Str: s, IsString: true} }
+
+// String implements fmt.Stringer.
+func (v Value) String() string {
+	if v.IsString {
+		return v.Str
+	}
+	return fmt.Sprintf("%g", v.Num)
+}
+
+// Equal reports value equality.
+func (v Value) Equal(o Value) bool {
+	if v.IsString != o.IsString {
+		return false
+	}
+	if v.IsString {
+		return v.Str == o.Str
+	}
+	return v.Num == o.Num
+}
+
+// SplitPath validates and splits a dotted path. Empty components are
+// rejected; an empty path denotes the root and yields nil.
+func SplitPath(path string) ([]string, error) {
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, ".")
+	for _, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// JoinPath assembles path components into a dotted path.
+func JoinPath(parts ...string) string { return strings.Join(parts, ".") }
+
+type node struct {
+	children map[string]*node
+	value    Value
+	isLeaf   bool
+}
+
+func newNode() *node {
+	return &node{children: make(map[string]*node)}
+}
+
+// WatchFunc is invoked after a mutation beneath the watched prefix with the
+// full path and new value; for deletions ok is false.
+type WatchFunc func(path string, v Value, ok bool)
+
+// WatchID identifies a registered watch.
+type WatchID uint64
+
+type watch struct {
+	id     WatchID
+	prefix string
+	fn     WatchFunc
+}
+
+// Tree is a concurrent hierarchical namespace.
+type Tree struct {
+	mu      sync.RWMutex
+	root    *node
+	watches []watch
+	nextID  WatchID
+}
+
+// New returns an empty namespace tree.
+func New() *Tree {
+	return &Tree{root: newNode()}
+}
+
+// Set stores a leaf value at path, creating intermediate directories as
+// needed. Setting a value on an existing directory fails with ErrNotLeaf.
+func (t *Tree) Set(path string, v Value) error {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot set root", ErrBadPath)
+	}
+	t.mu.Lock()
+	cur := t.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := cur.children[p]
+		if !ok {
+			child = newNode()
+			cur.children[p] = child
+		}
+		if child.isLeaf {
+			t.mu.Unlock()
+			return fmt.Errorf("namespace: %q crosses leaf %q", path, p)
+		}
+		cur = child
+	}
+	last := parts[len(parts)-1]
+	leaf, ok := cur.children[last]
+	if ok && !leaf.isLeaf && len(leaf.children) > 0 {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotLeaf, path)
+	}
+	if !ok {
+		leaf = newNode()
+		cur.children[last] = leaf
+	}
+	leaf.isLeaf = true
+	leaf.value = v
+	fns := t.watchersFor(path)
+	t.mu.Unlock()
+	for _, fn := range fns {
+		fn(path, v, true)
+	}
+	return nil
+}
+
+// SetNum is Set with a numeric value.
+func (t *Tree) SetNum(path string, v float64) error { return t.Set(path, NumValue(v)) }
+
+// SetStr is Set with a string value.
+func (t *Tree) SetStr(path, s string) error { return t.Set(path, StrValue(s)) }
+
+// Get retrieves the leaf value at path.
+func (t *Tree) Get(path string) (Value, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return Value{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.lookup(parts)
+	if n == nil {
+		return Value{}, fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	if !n.isLeaf {
+		return Value{}, fmt.Errorf("%w: %q", ErrNotLeaf, path)
+	}
+	return n.value, nil
+}
+
+// GetNum retrieves a numeric leaf; string leaves fail.
+func (t *Tree) GetNum(path string) (float64, error) {
+	v, err := t.Get(path)
+	if err != nil {
+		return 0, err
+	}
+	if v.IsString {
+		return 0, fmt.Errorf("namespace: %q holds a string", path)
+	}
+	return v.Num, nil
+}
+
+// Exists reports whether path names a leaf or directory.
+func (t *Tree) Exists(path string) bool {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.lookup(parts) != nil
+}
+
+// Delete removes the subtree at path. Deleting a missing path returns
+// ErrNotFound.
+func (t *Tree) Delete(path string) error {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot delete root", ErrBadPath)
+	}
+	t.mu.Lock()
+	cur := t.root
+	for _, p := range parts[:len(parts)-1] {
+		child, ok := cur.children[p]
+		if !ok {
+			t.mu.Unlock()
+			return fmt.Errorf("%w: %q", ErrNotFound, path)
+		}
+		cur = child
+	}
+	last := parts[len(parts)-1]
+	if _, ok := cur.children[last]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	delete(cur.children, last)
+	fns := t.watchersFor(path)
+	t.mu.Unlock()
+	for _, fn := range fns {
+		fn(path, Value{}, false)
+	}
+	return nil
+}
+
+// List returns the sorted child names of the directory at path (the root
+// when path is empty).
+func (t *Tree) List(path string) ([]string, error) {
+	parts, err := SplitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.lookup(parts)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, path)
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Walk visits every leaf under prefix (the whole tree when empty) in
+// lexicographic path order.
+func (t *Tree) Walk(prefix string, visit func(path string, v Value)) error {
+	parts, err := SplitPath(prefix)
+	if err != nil {
+		return err
+	}
+	type entry struct {
+		path string
+		v    Value
+	}
+	var leaves []entry
+	t.mu.RLock()
+	start := t.lookup(parts)
+	if start == nil {
+		t.mu.RUnlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, prefix)
+	}
+	var rec func(n *node, path string)
+	rec = func(n *node, path string) {
+		if n.isLeaf {
+			leaves = append(leaves, entry{path: path, v: n.value})
+			return
+		}
+		for name, child := range n.children {
+			p := name
+			if path != "" {
+				p = path + "." + name
+			}
+			rec(child, p)
+		}
+	}
+	rec(start, prefix)
+	t.mu.RUnlock()
+	sort.Slice(leaves, func(i, j int) bool { return leaves[i].path < leaves[j].path })
+	for _, e := range leaves {
+		visit(e.path, e.v)
+	}
+	return nil
+}
+
+// Snapshot returns a copy of every leaf under prefix as a path->Value map.
+func (t *Tree) Snapshot(prefix string) (map[string]Value, error) {
+	out := make(map[string]Value)
+	err := t.Walk(prefix, func(path string, v Value) { out[path] = v })
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Watch registers fn to run after every mutation at or beneath prefix.
+// Callbacks run outside the tree lock on the mutating goroutine.
+func (t *Tree) Watch(prefix string, fn WatchFunc) (WatchID, error) {
+	if fn == nil {
+		return 0, errors.New("namespace: nil watch func")
+	}
+	if _, err := SplitPath(prefix); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.watches = append(t.watches, watch{id: t.nextID, prefix: prefix, fn: fn})
+	return t.nextID, nil
+}
+
+// Unwatch removes a watch; unknown ids are a no-op returning false.
+func (t *Tree) Unwatch(id WatchID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.watches {
+		if t.watches[i].id == id {
+			t.watches = append(t.watches[:i], t.watches[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// EnvAt adapts the tree for RSL expression evaluation, resolving variable
+// names relative to base first and then absolutely. With base
+// "DBclient.66.where.DS", the name "client.memory" resolves to
+// DBclient.66.where.DS.client.memory before trying the absolute path.
+func (t *Tree) EnvAt(base string) EnvView {
+	return EnvView{tree: t, base: base}
+}
+
+// EnvView is an rsl.Env-compatible adapter over a subtree.
+type EnvView struct {
+	tree *Tree
+	base string
+}
+
+// Lookup resolves name relative to the view's base, then absolutely.
+func (e EnvView) Lookup(name string) (float64, bool) {
+	if e.tree == nil {
+		return 0, false
+	}
+	if e.base != "" {
+		if v, err := e.tree.GetNum(e.base + "." + name); err == nil {
+			return v, true
+		}
+	}
+	v, err := e.tree.GetNum(name)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// lookup walks parts from the root; caller holds at least a read lock.
+func (t *Tree) lookup(parts []string) *node {
+	cur := t.root
+	for _, p := range parts {
+		child, ok := cur.children[p]
+		if !ok {
+			return nil
+		}
+		cur = child
+	}
+	return cur
+}
+
+// watchersFor collects callbacks whose prefix covers path; caller holds the
+// write lock.
+func (t *Tree) watchersFor(path string) []WatchFunc {
+	var fns []WatchFunc
+	for _, w := range t.watches {
+		if w.prefix == "" || w.prefix == path || strings.HasPrefix(path, w.prefix+".") {
+			fns = append(fns, w.fn)
+		}
+	}
+	return fns
+}
+
+// InstancePath builds the conventional application-instance prefix, e.g.
+// InstancePath("DBclient", 66) == "DBclient.66".
+func InstancePath(app string, instance int) string {
+	return fmt.Sprintf("%s.%d", app, instance)
+}
+
+// OptionPath builds the conventional bundle-option prefix, e.g.
+// OptionPath("DBclient", 66, "where", "DS") == "DBclient.66.where.DS".
+func OptionPath(app string, instance int, bundle, option string) string {
+	return fmt.Sprintf("%s.%d.%s.%s", app, instance, bundle, option)
+}

@@ -1,0 +1,114 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"harmony/internal/match"
+	"harmony/internal/resource"
+)
+
+// CriticalPathParams tunes the refined communication model the paper
+// sketches in Section 3.4: "a better way of modeling communication costs
+// is by CPU occupancy on either end (for protocol processing, copying),
+// plus wire time" — the LogP decomposition it cites.
+type CriticalPathParams struct {
+	// OccupancySecondsPerMbit charges endpoint CPUs for protocol
+	// processing and copying, per megabit transferred.
+	OccupancySecondsPerMbit float64
+}
+
+// DefaultCriticalPathParams uses a software-TCP-era occupancy of 1 ms per
+// megabit on the reference machine.
+func DefaultCriticalPathParams() CriticalPathParams {
+	return CriticalPathParams{OccupancySecondsPerMbit: 1e-3}
+}
+
+// CriticalPath predicts response time by serializing computation,
+// communication occupancy, and wire time instead of applying the default
+// model's multiplicative contention factor:
+//
+//	response = cpu + occupancy + wire
+//
+// where a link requirement of R Mbps over a job whose compute takes cpu
+// seconds implies a volume of R·cpu megabits, wire time transfers that
+// volume at the link's residual bandwidth, and occupancy charges the
+// endpoints' CPUs per megabit. The paper notes this refinement is "not
+// difficult or computationally expensive, but less convenient" — it needs
+// the volumes the rate×duration product supplies.
+func (p *Predictor) CriticalPath(asg *match.Assignment, selfReserved bool, params CriticalPathParams) (Prediction, error) {
+	if asg == nil {
+		return Prediction{}, errors.New("predict: nil assignment")
+	}
+	base, err := p.Default(asg, selfReserved)
+	if err != nil {
+		return Prediction{}, err
+	}
+	cpu := base.CPUSeconds
+
+	// Total volume in megabits across explicit links plus the aggregate
+	// communication requirement.
+	volume := 0.0
+	wire := 0.0
+	addLink := func(a, b string, rateMbps float64) error {
+		if a == b || rateMbps <= 0 {
+			return nil
+		}
+		ls, err := p.ledger.Link(a, b)
+		if err != nil {
+			return fmt.Errorf("predict: %w", err)
+		}
+		v := rateMbps * cpu
+		volume += v
+		avail := availableMbps(ls, rateMbps, selfReserved)
+		wire += v / avail
+		return nil
+	}
+	for _, l := range asg.Links {
+		if err := addLink(l.HostA, l.HostB, l.BandwidthMbps); err != nil {
+			return Prediction{}, err
+		}
+	}
+	if asg.CommunicationMbps > 0 {
+		hosts := asg.Hosts()
+		if len(hosts) > 1 {
+			pairs := len(hosts) * (len(hosts) - 1) / 2
+			per := asg.CommunicationMbps / float64(pairs)
+			for i := 0; i < len(hosts); i++ {
+				for j := i + 1; j < len(hosts); j++ {
+					if err := addLink(hosts[i], hosts[j], per); err != nil {
+						return Prediction{}, err
+					}
+				}
+			}
+		}
+	}
+
+	occupancy := params.OccupancySecondsPerMbit * volume
+	total := cpu + occupancy + wire
+	scale := 1.0
+	if cpu > 0 {
+		scale = total / cpu
+	}
+	return Prediction{Seconds: total, CPUSeconds: cpu, CommScale: scale}, nil
+}
+
+// availableMbps estimates the bandwidth left for this assignment on a
+// link: capacity minus other reservations (our own rate is excluded when
+// not yet reserved, subtracted back out when it is), floored at a 10%
+// share so saturated links yield large-but-finite wire times.
+func availableMbps(ls resource.LinkState, ourRate float64, selfReserved bool) float64 {
+	others := ls.ReservedMbps
+	if selfReserved {
+		others -= ourRate
+		if others < 0 {
+			others = 0
+		}
+	}
+	avail := ls.Link.BandwidthMbps - others
+	floor := ls.Link.BandwidthMbps * 0.1
+	if avail < floor {
+		avail = floor
+	}
+	return avail
+}

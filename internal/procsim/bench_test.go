@@ -1,0 +1,39 @@
+package procsim
+
+import (
+	"testing"
+	"time"
+
+	"harmony/internal/simclock"
+)
+
+func BenchmarkSubmitComplete(b *testing.B) {
+	clock := simclock.New()
+	r, err := New("cpu", clock, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Submit(1, func(time.Duration) {}); err != nil {
+			b.Fatal(err)
+		}
+		clock.RunAll()
+	}
+}
+
+func BenchmarkConcurrentJobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		clock := simclock.New()
+		r, err := New("cpu", clock, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 32; j++ {
+			if err := r.Submit(float64(j+1), func(time.Duration) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		clock.RunAll()
+	}
+}

@@ -1,0 +1,246 @@
+package procsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harmony/internal/simclock"
+)
+
+func mustResource(t *testing.T, clock *simclock.Clock, capacity float64) *Resource {
+	t.Helper()
+	r, err := New("cpu", clock, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestSingleJobRunsAtFullSpeed(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 2.0) // double-speed CPU
+	var doneAt time.Duration
+	if err := r.Submit(10, func(at time.Duration) { doneAt = at }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if doneAt != 5*time.Second {
+		t.Fatalf("done at %v, want 5s (10 units / 2 units-per-s)", doneAt)
+	}
+}
+
+func TestTwoEqualJobsShare(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 1.0)
+	var t1, t2 time.Duration
+	if err := r.Submit(10, func(at time.Duration) { t1 = at }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(10, func(at time.Duration) { t2 = at }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	// Both share: each progresses at 0.5/s, both finish at 20 s.
+	if t1 != 20*time.Second || t2 != 20*time.Second {
+		t.Fatalf("completions %v, %v, want 20s each", t1, t2)
+	}
+}
+
+func TestShortJobLeavesLongJobAccelerates(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 1.0)
+	var tShort, tLong time.Duration
+	if err := r.Submit(5, func(at time.Duration) { tShort = at }); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(15, func(at time.Duration) { tLong = at }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	// Shared until short finishes: short needs 5 units at 0.5/s -> 10 s.
+	// Long then has 15-5=10 units left at full speed -> finishes at 20 s.
+	if tShort != 10*time.Second {
+		t.Fatalf("short done at %v, want 10s", tShort)
+	}
+	if tLong != 20*time.Second {
+		t.Fatalf("long done at %v, want 20s", tLong)
+	}
+}
+
+func TestLateArrivalSlowsInProgress(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 1.0)
+	var tFirst time.Duration
+	if err := r.Submit(10, func(at time.Duration) { tFirst = at }); err != nil {
+		t.Fatal(err)
+	}
+	// Second job arrives at t=5 with the first half done.
+	if _, err := clock.ScheduleAt(5*time.Second, func(time.Duration) {
+		if err := r.Submit(100, func(time.Duration) {}); err != nil {
+			t.Errorf("late submit: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	// First job: 5 units at full speed (0-5s), 5 units at half speed
+	// (5-15s) -> done at 15 s.
+	if tFirst != 15*time.Second {
+		t.Fatalf("first done at %v, want 15s", tFirst)
+	}
+}
+
+func TestZeroDemandCompletesNow(t *testing.T) {
+	clock := simclock.New()
+	clock.AdvanceTo(7 * time.Second)
+	r := mustResource(t, clock, 1.0)
+	var at time.Duration
+	if err := r.Submit(0, func(a time.Duration) { at = a }); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunAll()
+	if at != 7*time.Second {
+		t.Fatalf("zero-demand done at %v, want 7s", at)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 1.0)
+	if err := r.Submit(-1, func(time.Duration) {}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if err := r.Submit(math.NaN(), func(time.Duration) {}); err == nil {
+		t.Fatal("NaN demand accepted")
+	}
+	if err := r.Submit(1, nil); err == nil {
+		t.Fatal("nil callback accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil, 1); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+	if _, err := New("x", simclock.New(), 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestActiveAndUtilization(t *testing.T) {
+	clock := simclock.New()
+	r := mustResource(t, clock, 1.0)
+	if r.Active() != 0 || r.Utilization() != 0 {
+		t.Fatal("idle resource reports activity")
+	}
+	if err := r.Submit(10, func(time.Duration) {}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Active() != 1 || r.Utilization() != 1 {
+		t.Fatal("active resource reports idle")
+	}
+	clock.RunAll()
+	if r.Active() != 0 {
+		t.Fatal("drained resource still active")
+	}
+}
+
+func TestGroup(t *testing.T) {
+	clock := simclock.New()
+	g, err := NewGroup(clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := g.Add("cpu.sp2-01", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Get("cpu.sp2-01") != cpu {
+		t.Fatal("Get mismatch")
+	}
+	if g.Get("missing") != nil {
+		t.Fatal("missing resource non-nil")
+	}
+	if _, err := g.Add("cpu.sp2-01", 2.0); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if _, err := g.Add("bad", -1); err == nil {
+		t.Fatal("bad capacity accepted")
+	}
+	if _, err := NewGroup(nil); err == nil {
+		t.Fatal("nil clock group accepted")
+	}
+	if cpu.Name() != "cpu.sp2-01" {
+		t.Fatal("Name mismatch")
+	}
+}
+
+// Property: total work conservation — for any set of jobs submitted at t=0,
+// the last completion equals total demand / capacity.
+func TestPropertyWorkConservation(t *testing.T) {
+	f := func(demandsRaw []uint16) bool {
+		if len(demandsRaw) == 0 || len(demandsRaw) > 32 {
+			return true
+		}
+		clock := simclock.New()
+		r, err := New("cpu", clock, 1.0)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		var last time.Duration
+		for _, d := range demandsRaw {
+			demand := float64(d%1000) / 10
+			total += demand
+			if err := r.Submit(demand, func(at time.Duration) {
+				if at > last {
+					last = at
+				}
+			}); err != nil {
+				return false
+			}
+		}
+		clock.RunAll()
+		want := time.Duration(total * float64(time.Second))
+		diff := last - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < time.Millisecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completions are ordered by demand when all jobs start together.
+func TestPropertySmallerFinishesFirst(t *testing.T) {
+	f := func(a, b uint16) bool {
+		clock := simclock.New()
+		r, err := New("cpu", clock, 1.0)
+		if err != nil {
+			return false
+		}
+		da, db := float64(a)+1, float64(b)+1
+		var ta, tb time.Duration
+		if err := r.Submit(da, func(at time.Duration) { ta = at }); err != nil {
+			return false
+		}
+		if err := r.Submit(db, func(at time.Duration) { tb = at }); err != nil {
+			return false
+		}
+		clock.RunAll()
+		if da < db {
+			return ta <= tb
+		}
+		if db < da {
+			return tb <= ta
+		}
+		return ta == tb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package protocol defines the wire format between Harmony-aware
+// applications and the Harmony server (Section 5 of the paper). The
+// prototype's client library links into applications and talks to a server
+// listening on a well-known port; messages here are newline-delimited JSON
+// so they remain debuggable with standard tools.
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DefaultPort is the Harmony server's well-known port.
+const DefaultPort = 9989
+
+// MsgType enumerates protocol messages.
+type MsgType string
+
+// Client-to-server message types mirror the Figure 5 API.
+const (
+	// TypeStartup registers a program (harmony_startup).
+	TypeStartup MsgType = "startup"
+	// TypeBundleSetup sends an RSL bundle (harmony_bundle_setup).
+	TypeBundleSetup MsgType = "bundle_setup"
+	// TypeAddVariable declares a Harmony variable (harmony_add_variable).
+	TypeAddVariable MsgType = "add_variable"
+	// TypeReport feeds an application metric to the server.
+	TypeReport MsgType = "report"
+	// TypeEnd announces termination (harmony_end).
+	TypeEnd MsgType = "end"
+	// TypeStatus asks for a controller snapshot (harmonyctl).
+	TypeStatus MsgType = "status"
+	// TypeReevaluate forces an optimizer pass (harmonyctl).
+	TypeReevaluate MsgType = "reevaluate"
+)
+
+// Server-to-client message types.
+const (
+	// TypeAck acknowledges a request.
+	TypeAck MsgType = "ack"
+	// TypeError reports a failed request.
+	TypeError MsgType = "error"
+	// TypeUpdate delivers flushed Harmony variable changes.
+	TypeUpdate MsgType = "update"
+	// TypeStatusReply carries the controller snapshot.
+	TypeStatusReply MsgType = "status_reply"
+)
+
+// VarValue is a Harmony variable value: a number or a string, matching the
+// namespace's leaf values.
+type VarValue struct {
+	// Num holds the value when IsString is false.
+	Num float64 `json:"num,omitempty"`
+	// Str holds the value when IsString is true.
+	Str string `json:"str,omitempty"`
+	// IsString discriminates the arms.
+	IsString bool `json:"isString,omitempty"`
+}
+
+// NumVar builds a numeric VarValue.
+func NumVar(v float64) VarValue { return VarValue{Num: v} }
+
+// StrVar builds a string VarValue.
+func StrVar(s string) VarValue { return VarValue{Str: s, IsString: true} }
+
+// String implements fmt.Stringer.
+func (v VarValue) String() string {
+	if v.IsString {
+		return v.Str
+	}
+	return fmt.Sprintf("%g", v.Num)
+}
+
+// AppStatus is one application's state in a status reply.
+type AppStatus struct {
+	Instance         int      `json:"instance"`
+	App              string   `json:"app"`
+	Bundle           string   `json:"bundle"`
+	Option           string   `json:"option"`
+	Hosts            []string `json:"hosts"`
+	PredictedSeconds float64  `json:"predictedSeconds"`
+	Switches         int      `json:"switches"`
+}
+
+// Message is the single envelope for every protocol exchange. Fields are
+// populated per Type; unused fields stay zero and are omitted on the wire.
+type Message struct {
+	// Type discriminates the message.
+	Type MsgType `json:"type"`
+	// Seq correlates requests and replies on one connection.
+	Seq uint64 `json:"seq,omitempty"`
+
+	// AppID names the program in TypeStartup (e.g. "DBclient").
+	AppID string `json:"appId,omitempty"`
+	// UseInterrupts requests pushed updates (vs pure polling) at startup.
+	UseInterrupts bool `json:"useInterrupts,omitempty"`
+
+	// RSL carries the bundle definition for TypeBundleSetup.
+	RSL string `json:"rsl,omitempty"`
+
+	// Name and Value carry a variable declaration (TypeAddVariable) or a
+	// metric observation (TypeReport).
+	Name  string   `json:"name,omitempty"`
+	Value VarValue `json:"value,omitempty"`
+
+	// Instance is the controller-assigned application instance.
+	Instance int `json:"instance,omitempty"`
+
+	// Vars carries flushed variable updates for TypeUpdate.
+	Vars map[string]VarValue `json:"vars,omitempty"`
+
+	// Apps carries the snapshot for TypeStatusReply.
+	Apps []AppStatus `json:"apps,omitempty"`
+	// Objective carries the current objective value for TypeStatusReply.
+	Objective float64 `json:"objective,omitempty"`
+
+	// Error carries the failure reason for TypeError.
+	Error string `json:"error,omitempty"`
+}
+
+// MaxMessageBytes bounds a single wire message.
+const MaxMessageBytes = 1 << 20
+
+// ErrMessageTooLarge is returned for messages exceeding MaxMessageBytes.
+var ErrMessageTooLarge = errors.New("protocol: message too large")
+
+// Writer frames messages onto a stream. Not safe for concurrent use; guard
+// with a mutex when sharing.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write sends one message.
+func (w *Writer) Write(m *Message) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	if len(data) > MaxMessageBytes {
+		return ErrMessageTooLarge
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("protocol: write: %w", err)
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return fmt.Errorf("protocol: write: %w", err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("protocol: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader deframes messages from a stream. Not safe for concurrent use.
+type Reader struct {
+	s *bufio.Scanner
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 64*1024), MaxMessageBytes)
+	return &Reader{s: s}
+}
+
+// Read receives the next message; io.EOF signals a clean close.
+func (r *Reader) Read() (*Message, error) {
+	if !r.s.Scan() {
+		if err := r.s.Err(); err != nil {
+			return nil, fmt.Errorf("protocol: read: %w", err)
+		}
+		return nil, io.EOF
+	}
+	var m Message
+	if err := json.Unmarshal(r.s.Bytes(), &m); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal: %w", err)
+	}
+	if m.Type == "" {
+		return nil, errors.New("protocol: message without type")
+	}
+	return &m, nil
+}

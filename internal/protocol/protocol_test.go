@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := []*Message{
+		{Type: TypeStartup, Seq: 1, AppID: "DBclient", UseInterrupts: true},
+		{Type: TypeBundleSetup, Seq: 2, RSL: "harmonyBundle A:1 b {{O {node n *}}}"},
+		{Type: TypeAddVariable, Seq: 3, Name: "where", Value: StrVar("QS")},
+		{Type: TypeUpdate, Instance: 7, Vars: map[string]VarValue{
+			"where":      StrVar("DS"),
+			"bufferSize": NumVar(24),
+		}},
+		{Type: TypeStatusReply, Objective: 12.5, Apps: []AppStatus{
+			{Instance: 1, App: "DBclient", Option: "QS", Hosts: []string{"a", "b"}},
+		}},
+		{Type: TypeError, Seq: 9, Error: "no such option"},
+	}
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("Read %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Seq != want.Seq || got.AppID != want.AppID ||
+			got.Error != want.Error || got.Instance != want.Instance {
+			t.Fatalf("msg %d = %+v, want %+v", i, got, want)
+		}
+		if want.Vars != nil {
+			if got.Vars["where"].Str != "DS" || got.Vars["bufferSize"].Num != 24 {
+				t.Fatalf("vars = %+v", got.Vars)
+			}
+		}
+		if want.Apps != nil && (len(got.Apps) != 1 || got.Apps[0].App != "DBclient") {
+			t.Fatalf("apps = %+v", got.Apps)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("tail read err = %v, want EOF", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	r := NewReader(strings.NewReader("not json\n"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	r = NewReader(strings.NewReader("{}\n"))
+	if _, err := r.Read(); err == nil {
+		t.Fatal("typeless message accepted")
+	}
+}
+
+func TestWriteTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	m := &Message{Type: TypeBundleSetup, RSL: strings.Repeat("x", MaxMessageBytes)}
+	if err := w.Write(m); !errors.Is(err, ErrMessageTooLarge) {
+		t.Fatalf("err = %v, want ErrMessageTooLarge", err)
+	}
+}
+
+func TestVarValueString(t *testing.T) {
+	if NumVar(2.5).String() != "2.5" || StrVar("DS").String() != "DS" {
+		t.Fatal("VarValue.String broken")
+	}
+}
+
+// Property: any message with printable strings survives a round trip.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(seq uint64, appID string, num float64, isStr bool) bool {
+		if strings.ContainsAny(appID, "\n") || num != num {
+			return true
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		in := &Message{
+			Type:  TypeReport,
+			Seq:   seq,
+			AppID: appID,
+			Value: VarValue{Num: num, IsString: isStr},
+		}
+		if err := w.Write(in); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).Read()
+		if err != nil {
+			return false
+		}
+		return out.Seq == seq && out.AppID == appID &&
+			out.Value.Num == num && out.Value.IsString == isStr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package resource defines Harmony's resource model: nodes whose computing
+// capacity is expressed relative to a reference machine (a 400 MHz
+// Pentium II in the paper, Section 3), links with bandwidth and latency, and
+// a capacity ledger that tracks allocations so the matcher (Section 4.1)
+// can decrease available resources as requirements are placed.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ReferenceMachineDescription documents the abstract machine against which
+// all "seconds" requirements are quantified.
+const ReferenceMachineDescription = "400 MHz Pentium II (speed 1.0)"
+
+// Node is one machine published to Harmony via harmonyNode.
+type Node struct {
+	// Hostname uniquely identifies the machine.
+	Hostname string
+	// Speed scales the reference machine: 2.0 executes reference-seconds
+	// twice as fast.
+	Speed float64
+	// MemoryMB is installed memory.
+	MemoryMB float64
+	// OS is the operating system name ("linux", "aix", ...).
+	OS string
+	// CPUs is the processor count.
+	CPUs int
+}
+
+// Validate checks invariants.
+func (n *Node) Validate() error {
+	if n.Hostname == "" {
+		return errors.New("resource: node needs a hostname")
+	}
+	if n.Speed <= 0 {
+		return fmt.Errorf("resource: node %s speed %g must be positive", n.Hostname, n.Speed)
+	}
+	if n.MemoryMB < 0 {
+		return fmt.Errorf("resource: node %s memory %g must be non-negative", n.Hostname, n.MemoryMB)
+	}
+	if n.CPUs < 1 {
+		return fmt.Errorf("resource: node %s cpus %d must be >= 1", n.Hostname, n.CPUs)
+	}
+	return nil
+}
+
+// Link is a network connection between two machines.
+type Link struct {
+	// A and B are the endpoint hostnames; links are undirected.
+	A, B string
+	// BandwidthMbps is total capacity in megabits per second.
+	BandwidthMbps float64
+	// LatencyMs is one-way latency in milliseconds.
+	LatencyMs float64
+}
+
+// Key returns a direction-independent identifier for the link.
+func (l *Link) Key() string { return LinkKey(l.A, l.B) }
+
+// LinkKey builds the direction-independent identifier for a node pair.
+func LinkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// NodeClaim records resources reserved on one node for one allocation.
+type NodeClaim struct {
+	// Hostname is the node charged.
+	Hostname string
+	// MemoryMB is the reserved memory.
+	MemoryMB float64
+	// CPULoad is the steady-state CPU demand in reference-machine units
+	// (1.0 means it would saturate one reference CPU).
+	CPULoad float64
+}
+
+// LinkClaim records bandwidth reserved on one link.
+type LinkClaim struct {
+	// A and B are the endpoint hostnames.
+	A, B string
+	// BandwidthMbps is the reserved bandwidth.
+	BandwidthMbps float64
+}
+
+// Claim is a reservation of node and link resources that can be released as
+// a unit (when an application ends or is reconfigured to another option).
+type Claim struct {
+	// ID identifies the claim within its ledger.
+	ID uint64
+	// Owner is a free-form tag naming the claiming application/option.
+	Owner string
+	// Nodes lists per-node reservations.
+	Nodes []NodeClaim
+	// Links lists per-link reservations.
+	Links []LinkClaim
+}
+
+// Errors reported by the ledger.
+var (
+	// ErrUnknownNode is returned when a claim names an unregistered node.
+	ErrUnknownNode = errors.New("resource: unknown node")
+	// ErrUnknownLink is returned when a claim names an unregistered link.
+	ErrUnknownLink = errors.New("resource: unknown link")
+	// ErrInsufficient is returned when capacity would go negative.
+	ErrInsufficient = errors.New("resource: insufficient capacity")
+	// ErrUnknownClaim is returned when releasing an id not held.
+	ErrUnknownClaim = errors.New("resource: unknown claim")
+)
+
+// NodeState is a snapshot of one node's allocation state.
+type NodeState struct {
+	// Node is the immutable node description.
+	Node Node
+	// FreeMemoryMB is unreserved memory.
+	FreeMemoryMB float64
+	// CPULoad is the sum of reference-unit CPU demands placed on the node.
+	CPULoad float64
+}
+
+// EffectiveSpeed reports the per-job execution speed (reference units) the
+// node delivers under its current load: with total demand d spread over c
+// CPUs of speed s, each unit of demand progresses at min(1, c/d)·s. This is
+// the contention model the paper's default predictor relies on ("suitably
+// scaled to reflect resource contention", Section 3.1).
+func (ns NodeState) EffectiveSpeed() float64 {
+	return EffectiveSpeed(ns.Node.Speed, ns.Node.CPUs, ns.CPULoad)
+}
+
+// EffectiveSpeed computes contention-scaled speed for arbitrary parameters.
+func EffectiveSpeed(speed float64, cpus int, load float64) float64 {
+	if load <= float64(cpus) {
+		return speed
+	}
+	return speed * float64(cpus) / load
+}
+
+// LinkState is a snapshot of one link's allocation state.
+type LinkState struct {
+	// Link is the immutable link description.
+	Link Link
+	// ReservedMbps is the sum of bandwidth reservations.
+	ReservedMbps float64
+}
+
+// FreeMbps is the unreserved bandwidth (never negative).
+func (ls LinkState) FreeMbps() float64 {
+	free := ls.Link.BandwidthMbps - ls.ReservedMbps
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Utilization is the reserved fraction of the link, >1 when over-subscribed
+// by best-effort claims.
+func (ls LinkState) Utilization() float64 {
+	if ls.Link.BandwidthMbps <= 0 {
+		return 0
+	}
+	return ls.ReservedMbps / ls.Link.BandwidthMbps
+}
+
+// Ledger tracks registered nodes/links and outstanding claims. It is safe
+// for concurrent use.
+type Ledger struct {
+	mu      sync.Mutex
+	nodes   map[string]*nodeEntry
+	links   map[string]*linkEntry
+	claims  map[uint64]*Claim
+	nextID  uint64
+	baseMem map[string]float64
+}
+
+type nodeEntry struct {
+	node    Node
+	freeMem float64
+	cpuLoad float64
+}
+
+type linkEntry struct {
+	link     Link
+	reserved float64
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		nodes:   make(map[string]*nodeEntry),
+		links:   make(map[string]*linkEntry),
+		claims:  make(map[uint64]*Claim),
+		baseMem: make(map[string]float64),
+	}
+}
+
+// AddNode registers (or replaces an unclaimed) node.
+func (l *Ledger) AddNode(n Node) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, exists := l.nodes[n.Hostname]; exists && (old.cpuLoad > 0 || old.freeMem != old.node.MemoryMB) {
+		return fmt.Errorf("resource: node %s has outstanding claims", n.Hostname)
+	}
+	l.nodes[n.Hostname] = &nodeEntry{node: n, freeMem: n.MemoryMB}
+	l.baseMem[n.Hostname] = n.MemoryMB
+	return nil
+}
+
+// AddLink registers a link between two already-registered nodes.
+func (l *Ledger) AddLink(lk Link) error {
+	if lk.BandwidthMbps <= 0 {
+		return fmt.Errorf("resource: link %s-%s bandwidth %g must be positive", lk.A, lk.B, lk.BandwidthMbps)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.nodes[lk.A]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, lk.A)
+	}
+	if _, ok := l.nodes[lk.B]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, lk.B)
+	}
+	l.links[lk.Key()] = &linkEntry{link: lk}
+	return nil
+}
+
+// Node returns the snapshot state of a node.
+func (l *Ledger) Node(hostname string) (NodeState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.nodes[hostname]
+	if !ok {
+		return NodeState{}, fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
+	}
+	return NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad}, nil
+}
+
+// Link returns the snapshot state of a link.
+func (l *Ledger) Link(a, b string) (LinkState, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.links[LinkKey(a, b)]
+	if !ok {
+		return LinkState{}, fmt.Errorf("%w: %s-%s", ErrUnknownLink, a, b)
+	}
+	return LinkState{Link: e.link, ReservedMbps: e.reserved}, nil
+}
+
+// Nodes returns snapshots of all nodes sorted by hostname.
+func (l *Ledger) Nodes() []NodeState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]NodeState, 0, len(l.nodes))
+	for _, e := range l.nodes {
+		out = append(out, NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.Hostname < out[j].Node.Hostname })
+	return out
+}
+
+// Links returns snapshots of all links sorted by key.
+func (l *Ledger) Links() []LinkState {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LinkState, 0, len(l.links))
+	for _, e := range l.links {
+		out = append(out, LinkState{Link: e.link, ReservedMbps: e.reserved})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Link.Key() < out[j].Link.Key() })
+	return out
+}
+
+// Reserve atomically applies every node and link claim, or none on failure.
+// Memory claims are hard (fail when free memory is insufficient); CPU load
+// and link bandwidth are best-effort (they accumulate and degrade predicted
+// performance via contention, matching the paper's model where extra work
+// slows everyone rather than being rejected).
+func (l *Ledger) Reserve(owner string, nodes []NodeClaim, links []LinkClaim) (*Claim, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Validate first.
+	for _, nc := range nodes {
+		e, ok := l.nodes[nc.Hostname]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nc.Hostname)
+		}
+		if nc.MemoryMB < 0 || nc.CPULoad < 0 {
+			return nil, fmt.Errorf("resource: negative claim on %s", nc.Hostname)
+		}
+		if nc.MemoryMB > e.freeMem {
+			return nil, fmt.Errorf("%w: %s memory (need %g MB, free %g MB)",
+				ErrInsufficient, nc.Hostname, nc.MemoryMB, e.freeMem)
+		}
+	}
+	for _, lc := range links {
+		if _, ok := l.links[LinkKey(lc.A, lc.B)]; !ok {
+			return nil, fmt.Errorf("%w: %s-%s", ErrUnknownLink, lc.A, lc.B)
+		}
+		if lc.BandwidthMbps < 0 {
+			return nil, fmt.Errorf("resource: negative bandwidth claim on %s-%s", lc.A, lc.B)
+		}
+	}
+	// Apply.
+	for _, nc := range nodes {
+		e := l.nodes[nc.Hostname]
+		e.freeMem -= nc.MemoryMB
+		e.cpuLoad += nc.CPULoad
+	}
+	for _, lc := range links {
+		l.links[LinkKey(lc.A, lc.B)].reserved += lc.BandwidthMbps
+	}
+	l.nextID++
+	c := &Claim{ID: l.nextID, Owner: owner}
+	c.Nodes = append(c.Nodes, nodes...)
+	c.Links = append(c.Links, links...)
+	l.claims[c.ID] = c
+	return c, nil
+}
+
+// Release returns a claim's resources to the pool.
+func (l *Ledger) Release(id uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	c, ok := l.claims[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClaim, id)
+	}
+	for _, nc := range c.Nodes {
+		if e, ok := l.nodes[nc.Hostname]; ok {
+			e.freeMem += nc.MemoryMB
+			e.cpuLoad -= nc.CPULoad
+			if e.cpuLoad < 1e-12 {
+				e.cpuLoad = 0
+			}
+			if e.freeMem > e.node.MemoryMB {
+				e.freeMem = e.node.MemoryMB
+			}
+		}
+	}
+	for _, lc := range c.Links {
+		if e, ok := l.links[LinkKey(lc.A, lc.B)]; ok {
+			e.reserved -= lc.BandwidthMbps
+			if e.reserved < 1e-12 {
+				e.reserved = 0
+			}
+		}
+	}
+	delete(l.claims, id)
+	return nil
+}
+
+// Claims returns outstanding claims sorted by id.
+func (l *Ledger) Claims() []*Claim {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Claim, 0, len(l.claims))
+	for _, c := range l.claims {
+		cp := *c
+		out = append(out, &cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OutstandingFor reports the claims whose Owner equals owner.
+func (l *Ledger) OutstandingFor(owner string) []*Claim {
+	var out []*Claim
+	for _, c := range l.Claims() {
+		if c.Owner == owner {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// TotalMemory reports installed and free memory across all nodes.
+func (l *Ledger) TotalMemory() (installed, free float64) {
+	for _, ns := range l.Nodes() {
+		installed += ns.Node.MemoryMB
+		free += ns.FreeMemoryMB
+	}
+	return installed, free
+}

@@ -1,0 +1,392 @@
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testLedger(t *testing.T) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	nodes := []Node{
+		{Hostname: "a", Speed: 1.0, MemoryMB: 128, OS: "linux", CPUs: 1},
+		{Hostname: "b", Speed: 2.0, MemoryMB: 256, OS: "linux", CPUs: 2},
+		{Hostname: "c", Speed: 0.5, MemoryMB: 64, OS: "aix", CPUs: 1},
+	}
+	for _, n := range nodes {
+		if err := l.AddNode(n); err != nil {
+			t.Fatalf("AddNode(%s): %v", n.Hostname, err)
+		}
+	}
+	links := []Link{
+		{A: "a", B: "b", BandwidthMbps: 100, LatencyMs: 1},
+		{A: "b", B: "c", BandwidthMbps: 320, LatencyMs: 0.5},
+	}
+	for _, lk := range links {
+		if err := l.AddLink(lk); err != nil {
+			t.Fatalf("AddLink: %v", err)
+		}
+	}
+	return l
+}
+
+func TestNodeValidate(t *testing.T) {
+	cases := []Node{
+		{Hostname: "", Speed: 1, CPUs: 1},
+		{Hostname: "x", Speed: 0, CPUs: 1},
+		{Hostname: "x", Speed: 1, MemoryMB: -1, CPUs: 1},
+		{Hostname: "x", Speed: 1, CPUs: 0},
+	}
+	for i, n := range cases {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: Validate(%+v) succeeded", i, n)
+		}
+	}
+	ok := Node{Hostname: "x", Speed: 1, MemoryMB: 0, CPUs: 1}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid node rejected: %v", err)
+	}
+}
+
+func TestLinkKeySymmetric(t *testing.T) {
+	if LinkKey("a", "b") != LinkKey("b", "a") {
+		t.Fatal("LinkKey not symmetric")
+	}
+	l := Link{A: "z", B: "a"}
+	if l.Key() != LinkKey("a", "z") {
+		t.Fatal("Link.Key mismatch")
+	}
+}
+
+func TestAddLinkUnknownNode(t *testing.T) {
+	l := NewLedger()
+	if err := l.AddNode(Node{Hostname: "a", Speed: 1, MemoryMB: 1, CPUs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	err := l.AddLink(Link{A: "a", B: "ghost", BandwidthMbps: 10})
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	if err := l.AddLink(Link{A: "a", B: "a", BandwidthMbps: 0}); err == nil {
+		t.Fatal("zero-bandwidth link accepted")
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	l := testLedger(t)
+	claim, err := l.Reserve("job1",
+		[]NodeClaim{{Hostname: "a", MemoryMB: 32, CPULoad: 1}},
+		[]LinkClaim{{A: "a", B: "b", BandwidthMbps: 40}})
+	if err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	ns, err := l.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.FreeMemoryMB != 96 || ns.CPULoad != 1 {
+		t.Fatalf("node a state = %+v", ns)
+	}
+	ls, err := l.Link("b", "a") // reversed endpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.ReservedMbps != 40 || ls.FreeMbps() != 60 {
+		t.Fatalf("link state = %+v", ls)
+	}
+	if err := l.Release(claim.ID); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	ns, _ = l.Node("a")
+	if ns.FreeMemoryMB != 128 || ns.CPULoad != 0 {
+		t.Fatalf("node a after release = %+v", ns)
+	}
+	if err := l.Release(claim.ID); !errors.Is(err, ErrUnknownClaim) {
+		t.Fatalf("double release err = %v", err)
+	}
+}
+
+func TestReserveMemoryHardLimit(t *testing.T) {
+	l := testLedger(t)
+	_, err := l.Reserve("big", []NodeClaim{{Hostname: "c", MemoryMB: 65}}, nil)
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("err = %v, want ErrInsufficient", err)
+	}
+	// Failed reserve must not mutate state.
+	ns, _ := l.Node("c")
+	if ns.FreeMemoryMB != 64 {
+		t.Fatalf("free memory after failed reserve = %g", ns.FreeMemoryMB)
+	}
+}
+
+func TestReserveAtomicity(t *testing.T) {
+	l := testLedger(t)
+	// Second node claim fails; first must not be applied.
+	_, err := l.Reserve("x",
+		[]NodeClaim{
+			{Hostname: "a", MemoryMB: 10, CPULoad: 5},
+			{Hostname: "ghost", MemoryMB: 1},
+		}, nil)
+	if !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("err = %v, want ErrUnknownNode", err)
+	}
+	ns, _ := l.Node("a")
+	if ns.FreeMemoryMB != 128 || ns.CPULoad != 0 {
+		t.Fatalf("partial application after failure: %+v", ns)
+	}
+}
+
+func TestReserveRejectsNegative(t *testing.T) {
+	l := testLedger(t)
+	if _, err := l.Reserve("x", []NodeClaim{{Hostname: "a", MemoryMB: -1}}, nil); err == nil {
+		t.Fatal("negative memory claim accepted")
+	}
+	if _, err := l.Reserve("x", nil, []LinkClaim{{A: "a", B: "b", BandwidthMbps: -1}}); err == nil {
+		t.Fatal("negative bandwidth claim accepted")
+	}
+}
+
+func TestCPULoadBestEffort(t *testing.T) {
+	l := testLedger(t)
+	// CPU over-subscription is allowed; it degrades effective speed.
+	for i := 0; i < 4; i++ {
+		if _, err := l.Reserve(fmt.Sprintf("j%d", i),
+			[]NodeClaim{{Hostname: "a", CPULoad: 1}}, nil); err != nil {
+			t.Fatalf("Reserve %d: %v", i, err)
+		}
+	}
+	ns, _ := l.Node("a")
+	if ns.CPULoad != 4 {
+		t.Fatalf("cpu load = %g, want 4", ns.CPULoad)
+	}
+	if got := ns.EffectiveSpeed(); got != 0.25 {
+		t.Fatalf("effective speed = %g, want 0.25", got)
+	}
+}
+
+func TestEffectiveSpeed(t *testing.T) {
+	cases := []struct {
+		speed float64
+		cpus  int
+		load  float64
+		want  float64
+	}{
+		{1, 1, 0, 1},
+		{1, 1, 1, 1},
+		{1, 1, 2, 0.5},
+		{2, 1, 4, 0.5},
+		{1, 4, 2, 1},
+		{1, 4, 8, 0.5},
+	}
+	for _, tc := range cases {
+		if got := EffectiveSpeed(tc.speed, tc.cpus, tc.load); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("EffectiveSpeed(%g,%d,%g) = %g, want %g", tc.speed, tc.cpus, tc.load, got, tc.want)
+		}
+	}
+}
+
+func TestLinkUtilizationOversubscribe(t *testing.T) {
+	l := testLedger(t)
+	if _, err := l.Reserve("x", nil, []LinkClaim{{A: "a", B: "b", BandwidthMbps: 150}}); err != nil {
+		t.Fatalf("best-effort bandwidth over-subscribe rejected: %v", err)
+	}
+	ls, _ := l.Link("a", "b")
+	if ls.FreeMbps() != 0 {
+		t.Fatalf("FreeMbps = %g, want 0 when over-subscribed", ls.FreeMbps())
+	}
+	if ls.Utilization() != 1.5 {
+		t.Fatalf("Utilization = %g, want 1.5", ls.Utilization())
+	}
+}
+
+func TestNodesLinksSorted(t *testing.T) {
+	l := testLedger(t)
+	nodes := l.Nodes()
+	if len(nodes) != 3 || nodes[0].Node.Hostname != "a" || nodes[2].Node.Hostname != "c" {
+		t.Fatalf("Nodes order = %v", nodes)
+	}
+	links := l.Links()
+	if len(links) != 2 || links[0].Link.Key() != LinkKey("a", "b") {
+		t.Fatalf("Links order = %v", links)
+	}
+}
+
+func TestClaimsAndOutstandingFor(t *testing.T) {
+	l := testLedger(t)
+	c1, err := l.Reserve("app1", []NodeClaim{{Hostname: "a", CPULoad: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Reserve("app2", []NodeClaim{{Hostname: "b", CPULoad: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(l.Claims()); got != 2 {
+		t.Fatalf("Claims len = %d", got)
+	}
+	mine := l.OutstandingFor("app1")
+	if len(mine) != 1 || mine[0].ID != c1.ID {
+		t.Fatalf("OutstandingFor = %v", mine)
+	}
+}
+
+func TestReplaceNodeWithClaimsFails(t *testing.T) {
+	l := testLedger(t)
+	if _, err := l.Reserve("x", []NodeClaim{{Hostname: "a", MemoryMB: 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	err := l.AddNode(Node{Hostname: "a", Speed: 3, MemoryMB: 512, CPUs: 4})
+	if err == nil {
+		t.Fatal("replacing claimed node succeeded")
+	}
+}
+
+func TestTotalMemory(t *testing.T) {
+	l := testLedger(t)
+	installed, free := l.TotalMemory()
+	if installed != 448 || free != 448 {
+		t.Fatalf("TotalMemory = %g, %g", installed, free)
+	}
+	if _, err := l.Reserve("x", []NodeClaim{{Hostname: "b", MemoryMB: 100}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	_, free = l.TotalMemory()
+	if free != 348 {
+		t.Fatalf("free after reserve = %g", free)
+	}
+}
+
+func TestUnknownLookups(t *testing.T) {
+	l := testLedger(t)
+	if _, err := l.Node("ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Node err = %v", err)
+	}
+	if _, err := l.Link("a", "ghost"); !errors.Is(err, ErrUnknownLink) {
+		t.Fatalf("Link err = %v", err)
+	}
+}
+
+func TestConcurrentReserveRelease(t *testing.T) {
+	l := testLedger(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := l.Reserve("w",
+					[]NodeClaim{{Hostname: "b", MemoryMB: 1, CPULoad: 0.1}},
+					[]LinkClaim{{A: "a", B: "b", BandwidthMbps: 0.5}})
+				if err != nil {
+					t.Errorf("Reserve: %v", err)
+					return
+				}
+				if err := l.Release(c.ID); err != nil {
+					t.Errorf("Release: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	ns, _ := l.Node("b")
+	if ns.FreeMemoryMB != 256 || ns.CPULoad != 0 {
+		t.Fatalf("ledger not restored: %+v", ns)
+	}
+	ls, _ := l.Link("a", "b")
+	if ls.ReservedMbps != 0 {
+		t.Fatalf("link not restored: %+v", ls)
+	}
+}
+
+// Property: any sequence of successful reserves followed by releasing all
+// claims restores free memory, CPU load and link reservations exactly.
+func TestPropertyReserveReleaseRestores(t *testing.T) {
+	f := func(memClaims []uint8, loads []uint8, bws []uint8) bool {
+		l := NewLedger()
+		if err := l.AddNode(Node{Hostname: "n", Speed: 1, MemoryMB: 1 << 20, CPUs: 2}); err != nil {
+			return false
+		}
+		if err := l.AddNode(Node{Hostname: "m", Speed: 1, MemoryMB: 1 << 20, CPUs: 2}); err != nil {
+			return false
+		}
+		if err := l.AddLink(Link{A: "n", B: "m", BandwidthMbps: 1000}); err != nil {
+			return false
+		}
+		var ids []uint64
+		max := len(memClaims)
+		if len(loads) < max {
+			max = len(loads)
+		}
+		if len(bws) < max {
+			max = len(bws)
+		}
+		for i := 0; i < max; i++ {
+			c, err := l.Reserve("p",
+				[]NodeClaim{{Hostname: "n", MemoryMB: float64(memClaims[i]), CPULoad: float64(loads[i]) / 16}},
+				[]LinkClaim{{A: "n", B: "m", BandwidthMbps: float64(bws[i])}})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, c.ID)
+		}
+		for _, id := range ids {
+			if err := l.Release(id); err != nil {
+				return false
+			}
+		}
+		ns, err := l.Node("n")
+		if err != nil || ns.FreeMemoryMB != 1<<20 || ns.CPULoad != 0 {
+			return false
+		}
+		ls, err := l.Link("n", "m")
+		return err == nil && ls.ReservedMbps == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: free memory never exceeds installed memory and never goes
+// negative under arbitrary interleavings of reserve/release.
+func TestPropertyMemoryBounds(t *testing.T) {
+	f := func(ops []uint8) bool {
+		l := NewLedger()
+		const installed = 100.0
+		if err := l.AddNode(Node{Hostname: "n", Speed: 1, MemoryMB: installed, CPUs: 1}); err != nil {
+			return false
+		}
+		var ids []uint64
+		for _, op := range ops {
+			if op%2 == 0 {
+				c, err := l.Reserve("p", []NodeClaim{{Hostname: "n", MemoryMB: float64(op % 40)}}, nil)
+				if err == nil {
+					ids = append(ids, c.ID)
+				}
+			} else if len(ids) > 0 {
+				id := ids[int(op)%len(ids)]
+				_ = l.Release(id)
+				for i, v := range ids {
+					if v == id {
+						ids = append(ids[:i], ids[i+1:]...)
+						break
+					}
+				}
+			}
+			ns, err := l.Node("n")
+			if err != nil {
+				return false
+			}
+			if ns.FreeMemoryMB < 0 || ns.FreeMemoryMB > installed {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package rsl
+
+import "testing"
+
+func BenchmarkParseScript(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseScript(figure3Src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeBundle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeScript(figure3Src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseExpr(b *testing.B) {
+	const src = "44 + (client.memory > 24 ? 24 : client.memory) - 17"
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseExpr(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalExpr(b *testing.B) {
+	e := MustParseExpr("44 + (client.memory > 24 ? 24 : client.memory) - 17")
+	env := MapEnv{"client.memory": 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalQuadratic(b *testing.B) {
+	e := MustParseExpr("0.5 * workerNodes ^ 2")
+	env := MapEnv{"workerNodes": 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Eval(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package rsl
+
+import (
+	"strings"
+	"testing"
+)
+
+// Figure 2(a): "Simple" generic parallel application on four processors.
+const figure2aSrc = `
+harmonyBundle Simple:1 config {
+	{only
+		{node worker * {seconds 300} {memory 32} {replicate 4}}
+		{communication 10}
+	}
+}
+`
+
+// Figure 2(b): "Bag" bag-of-tasks application with variable parallelism.
+const figure2bSrc = `
+harmonyBundle Bag:1 parallelism {
+	{workers
+		{variable workerNodes {1 2 4 8}}
+		{node worker * {seconds {300 / workerNodes}} {memory 32} {replicate workerNodes}}
+		{communication {0.5 * workerNodes ^ 2}}
+		{performance {{1 300} {2 160} {4 90} {8 70}}}
+		{granularity 10}
+	}
+}
+`
+
+// Figure 3: hybrid client-server database bundle.
+const figure3Src = `
+harmonyBundle DBclient:1 where {
+	{QS
+		{node server harmony.cs.umd.edu {seconds 42} {memory 20}}
+		{node client * {os linux} {seconds 1} {memory 2}}
+		{link client server 2}
+	}
+	{DS
+		{node server harmony.cs.umd.edu {seconds 1} {memory 20}}
+		{node client * {os linux} {memory >=17} {seconds 9}}
+		{link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}
+	}
+}
+`
+
+func decodeOne(t *testing.T, src string) *BundleSpec {
+	t.Helper()
+	bundles, _, err := DecodeScript(src)
+	if err != nil {
+		t.Fatalf("DecodeScript: %v", err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("got %d bundles, want 1", len(bundles))
+	}
+	return bundles[0]
+}
+
+func TestDecodeFigure2aSimple(t *testing.T) {
+	b := decodeOne(t, figure2aSrc)
+	if b.App != "Simple" || b.Instance != 1 || b.Name != "config" {
+		t.Fatalf("header = %s:%d %s", b.App, b.Instance, b.Name)
+	}
+	if len(b.Options) != 1 {
+		t.Fatalf("got %d options, want 1", len(b.Options))
+	}
+	opt := b.Options[0]
+	if opt.Name != "only" || len(opt.Nodes) != 1 {
+		t.Fatalf("option = %+v", opt)
+	}
+	n := opt.Nodes[0]
+	if n.LocalName != "worker" || n.HostPattern != "*" {
+		t.Fatalf("node = %+v", n)
+	}
+	secs, err := n.Tags["seconds"].EvalNum(nil)
+	if err != nil || secs != 300 {
+		t.Fatalf("seconds = %g, %v", secs, err)
+	}
+	mem, err := n.Tags["memory"].EvalNum(nil)
+	if err != nil || mem != 32 {
+		t.Fatalf("memory = %g, %v", mem, err)
+	}
+	rep, err := n.Replicate.Eval(nil)
+	if err != nil || rep != 4 {
+		t.Fatalf("replicate = %g, %v", rep, err)
+	}
+	comm, err := opt.Communication.Eval(nil)
+	if err != nil || comm != 10 {
+		t.Fatalf("communication = %g, %v", comm, err)
+	}
+}
+
+func TestDecodeFigure2bBag(t *testing.T) {
+	b := decodeOne(t, figure2bSrc)
+	opt := b.Options[0]
+	vs := opt.Variable("workerNodes")
+	if vs == nil {
+		t.Fatal("variable workerNodes missing")
+	}
+	if len(vs.Values) != 4 || vs.Values[3] != 8 {
+		t.Fatalf("workerNodes values = %v", vs.Values)
+	}
+	// seconds parameterized on workerNodes: constant total cycles.
+	for _, w := range vs.Values {
+		env := MapEnv{"workerNodes": w}
+		secs, err := opt.Nodes[0].Tags["seconds"].EvalNum(env)
+		if err != nil {
+			t.Fatalf("seconds eval: %v", err)
+		}
+		if got := secs * w; got != 300 {
+			t.Errorf("total cycles at w=%g: %g, want 300", w, got)
+		}
+		bw, err := opt.Communication.Eval(env)
+		if err != nil {
+			t.Fatalf("communication eval: %v", err)
+		}
+		if bw != 0.5*w*w {
+			t.Errorf("bandwidth at w=%g: %g, want %g", w, bw, 0.5*w*w)
+		}
+	}
+	if len(opt.Performance) != 4 {
+		t.Fatalf("performance points = %v", opt.Performance)
+	}
+	if opt.Performance[0] != (PerfPoint{X: 1, Y: 300}) {
+		t.Fatalf("first perf point = %+v", opt.Performance[0])
+	}
+	g, err := opt.Granularity.Eval(nil)
+	if err != nil || g != 10 {
+		t.Fatalf("granularity = %g, %v", g, err)
+	}
+}
+
+func TestDecodeFigure3Database(t *testing.T) {
+	b := decodeOne(t, figure3Src)
+	if got := strings.Join(b.OptionNames(), ","); got != "QS,DS" {
+		t.Fatalf("options = %s, want QS,DS (declaration order)", got)
+	}
+	qs := b.Option("QS")
+	ds := b.Option("DS")
+	if qs == nil || ds == nil {
+		t.Fatal("QS or DS missing")
+	}
+
+	// QS consumes more at the server; DS more at the client.
+	qsServer, err := qs.Nodes[0].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsServer, err := ds.Nodes[0].Tags["seconds"].EvalNum(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qsServer <= dsServer {
+		t.Fatalf("QS server seconds %g should exceed DS server seconds %g", qsServer, dsServer)
+	}
+
+	// DS memory is a minimum constraint (>= 17).
+	memTag := ds.Nodes[1].Tags["memory"]
+	if memTag.Op != OpMin {
+		t.Fatalf("DS client memory op = %v, want >=", memTag.Op)
+	}
+	minMem, err := memTag.EvalNum(nil)
+	if err != nil || minMem != 17 {
+		t.Fatalf("DS client min memory = %g, %v", minMem, err)
+	}
+
+	// The DS link formula depends on client.memory with a cap at 24.
+	link := ds.Links[0]
+	if link.A != "client" || link.B != "server" {
+		t.Fatalf("link endpoints = %s-%s", link.A, link.B)
+	}
+	for _, tc := range []struct{ mem, want float64 }{{17, 44}, {24, 51}, {40, 51}} {
+		got, err := link.Bandwidth.Eval(MapEnv{"client.memory": tc.mem})
+		if err != nil {
+			t.Fatalf("link eval: %v", err)
+		}
+		if got != tc.want {
+			t.Errorf("link bw at mem=%g: %g, want %g", tc.mem, got, tc.want)
+		}
+	}
+
+	// String tags.
+	if os := ds.Nodes[1].Tags["os"]; !os.IsString || os.Str != "linux" {
+		t.Fatalf("os tag = %+v", os)
+	}
+	if _, err := ds.Nodes[1].Tags["os"].EvalNum(nil); err == nil {
+		t.Fatal("EvalNum on string tag succeeded, want error")
+	}
+}
+
+func TestDecodeHarmonyNode(t *testing.T) {
+	src := `harmonyNode fast.cluster {speed 1.5} {memory 256} {os linux} {cpus 2} {disks 4}`
+	_, decls, err := DecodeScript(src)
+	if err != nil {
+		t.Fatalf("DecodeScript: %v", err)
+	}
+	if len(decls) != 1 {
+		t.Fatalf("got %d decls, want 1", len(decls))
+	}
+	d := decls[0]
+	if d.Hostname != "fast.cluster" || d.Speed != 1.5 || d.MemoryMB != 256 || d.OS != "linux" || d.CPUs != 2 {
+		t.Fatalf("decl = %+v", d)
+	}
+	if d.Extra["disks"] != 4 {
+		t.Fatalf("extra disks = %g", d.Extra["disks"])
+	}
+}
+
+func TestDecodeHarmonyNodeDefaults(t *testing.T) {
+	_, decls, err := DecodeScript(`harmonyNode plain`)
+	if err != nil {
+		t.Fatalf("DecodeScript: %v", err)
+	}
+	d := decls[0]
+	if d.Speed != 1.0 || d.CPUs != 1 {
+		t.Fatalf("defaults = %+v", d)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown command", `frobnicate x`},
+		{"bundle too few args", `harmonyBundle app:1 name`},
+		{"bundle bad instance", `harmonyBundle app:xyz name {{A {node n * {seconds 1}}}}`},
+		{"bundle options not list", `harmonyBundle app:1 name word`},
+		{"option not list", `harmonyBundle app:1 name {word}`},
+		{"empty bundle", `harmonyBundle app:1 name {}`},
+		{"duplicate option", `harmonyBundle a:1 n {{A} {A}}`},
+		{"unknown tag", `harmonyBundle a:1 n {{A {wat 3}}}`},
+		{"node too short", `harmonyBundle a:1 n {{A {node only}}}`},
+		{"bad tag pair", `harmonyBundle a:1 n {{A {node x * {seconds}}}}`},
+		{"duplicate node attr", `harmonyBundle a:1 n {{A {node x * {seconds 1} {seconds 2}}}}`},
+		{"link arity", `harmonyBundle a:1 n {{A {link a b}}}`},
+		{"bad perf point", `harmonyBundle a:1 n {{A {performance {{1}}}}}`},
+		{"dup perf x", `harmonyBundle a:1 n {{A {performance {{1 5} {1 6}}}}}`},
+		{"empty perf", `harmonyBundle a:1 n {{A {performance {}}}}`},
+		{"variable arity", `harmonyBundle a:1 n {{A {variable v}}}`},
+		{"variable empty", `harmonyBundle a:1 n {{A {variable v {}}}}`},
+		{"dup variable", `harmonyBundle a:1 n {{A {variable v {1}} {variable v {2}}}}`},
+		{"bad expr", `harmonyBundle a:1 n {{A {communication {1 +}}}}`},
+		{"node speed zero", `harmonyNode h {speed 0}`},
+		{"node cpus zero", `harmonyNode h {cpus 0}`},
+		{"node bad value", `harmonyNode h {memory lots}`},
+		{"node missing host", `harmonyNode`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := DecodeScript(tc.src); err == nil {
+				t.Fatalf("DecodeScript(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestDecodeFrictionAndMaxConstraint(t *testing.T) {
+	src := `
+harmonyBundle App:7 b {
+	{A
+		{node n * {seconds 5} {memory <=64}}
+		{friction 15}
+	}
+}
+`
+	b := decodeOne(t, src)
+	opt := b.Options[0]
+	fr, err := opt.Friction.Eval(nil)
+	if err != nil || fr != 15 {
+		t.Fatalf("friction = %g, %v", fr, err)
+	}
+	if op := opt.Nodes[0].Tags["memory"].Op; op != OpMax {
+		t.Fatalf("memory op = %v, want <=", op)
+	}
+}
+
+func TestDecodeLinkLatency(t *testing.T) {
+	src := `harmonyBundle A:1 b {{O {node x *} {node y *} {link x y 10 2.5}}}`
+	b := decodeOne(t, src)
+	l := b.Options[0].Links[0]
+	if l.Latency == nil {
+		t.Fatal("latency not decoded")
+	}
+	v, err := l.Latency.Eval(nil)
+	if err != nil || v != 2.5 {
+		t.Fatalf("latency = %g, %v", v, err)
+	}
+}
+
+func TestDecodeInstanceOptional(t *testing.T) {
+	src := `harmonyBundle NoInst b {{O {node x *}}}`
+	b := decodeOne(t, src)
+	if b.App != "NoInst" || b.Instance != 0 {
+		t.Fatalf("header = %s:%d", b.App, b.Instance)
+	}
+}
+
+func TestConstraintOpString(t *testing.T) {
+	if OpExact.String() != "==" || OpMin.String() != ">=" || OpMax.String() != "<=" {
+		t.Fatal("ConstraintOp.String mismatch")
+	}
+	if ConstraintOp(99).String() != "?" {
+		t.Fatal("unknown op should render '?'")
+	}
+}
+
+func TestBundleOptionLookup(t *testing.T) {
+	b := decodeOne(t, figure3Src)
+	if b.Option("QS") == nil || b.Option("nope") != nil {
+		t.Fatal("Option lookup broken")
+	}
+	opt := b.Option("DS")
+	if opt.Variable("missing") != nil {
+		t.Fatal("Variable lookup should return nil for missing")
+	}
+}

@@ -1,0 +1,319 @@
+package rsl
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func evalStr(t *testing.T, src string, env Env) float64 {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1+2", 3},
+		{"2*3+4", 10},
+		{"2+3*4", 14},
+		{"(2+3)*4", 20},
+		{"10/4", 2.5},
+		{"10%3", 1},
+		{"2^10", 1024},
+		{"2^3^2", 512}, // right associative
+		{"-5+3", -2},
+		{"--5", 5},
+		{"1.5e2", 150},
+		{"7 - 2 - 1", 4}, // left associative
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			if got := evalStr(t, tc.src, nil); got != tc.want {
+				t.Fatalf("eval(%q) = %g, want %g", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExprComparisonsAndLogic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"1 < 2", 1},
+		{"2 < 1", 0},
+		{"2 <= 2", 1},
+		{"3 > 2", 1},
+		{"2 >= 3", 0},
+		{"2 == 2", 1},
+		{"2 != 2", 0},
+		{"1 && 0", 0},
+		{"1 && 2", 1},
+		{"0 || 0", 0},
+		{"0 || 3", 1},
+		{"!0", 1},
+		{"!5", 0},
+		{"1 < 2 && 3 < 4", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			if got := evalStr(t, tc.src, nil); got != tc.want {
+				t.Fatalf("eval(%q) = %g, want %g", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExprTernary(t *testing.T) {
+	env := MapEnv{"x": 30}
+	if got := evalStr(t, "x > 24 ? 24 : x", env); got != 24 {
+		t.Fatalf("ternary true branch = %g, want 24", got)
+	}
+	env["x"] = 10
+	if got := evalStr(t, "x > 24 ? 24 : x", env); got != 10 {
+		t.Fatalf("ternary false branch = %g, want 10", got)
+	}
+	// Nested ternary, right associative.
+	if got := evalStr(t, "0 ? 1 : 0 ? 2 : 3", nil); got != 3 {
+		t.Fatalf("nested ternary = %g, want 3", got)
+	}
+}
+
+// The exact data-shipping link formula from Figure 3 of the paper.
+func TestFigure3LinkFormula(t *testing.T) {
+	const src = "44 + (client.memory > 24 ? 24 : client.memory) - 17"
+	cases := []struct {
+		mem  float64
+		want float64
+	}{
+		{17, 44}, // 44 + 17 - 17
+		{24, 51},
+		{32, 51}, // capped at 24
+	}
+	for _, tc := range cases {
+		env := MapEnv{"client.memory": tc.mem}
+		if got := evalStr(t, src, env); got != tc.want {
+			t.Errorf("mem=%g: got %g, want %g", tc.mem, got, tc.want)
+		}
+	}
+}
+
+func TestExprFunctions(t *testing.T) {
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"min(3, 1, 2)", 1},
+		{"max(3, 1, 2)", 3},
+		{"abs(-4)", 4},
+		{"floor(2.7)", 2},
+		{"ceil(2.2)", 3},
+		{"sqrt(9)", 3},
+		{"pow(2, 5)", 32},
+		{"log2(8)", 3},
+		{"min(2+2, 10)", 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			if got := evalStr(t, tc.src, nil); got != tc.want {
+				t.Fatalf("eval(%q) = %g, want %g", tc.src, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestExprVariables(t *testing.T) {
+	env := MapEnv{"workerNodes": 4, "client.memory": 20}
+	if got := evalStr(t, "300 / workerNodes", env); got != 75 {
+		t.Fatalf("parameterized seconds = %g, want 75", got)
+	}
+	if got := evalStr(t, "0.5 * workerNodes ^ 2", env); got != 8 {
+		t.Fatalf("quadratic bandwidth = %g, want 8", got)
+	}
+}
+
+func TestExprUnboundVariable(t *testing.T) {
+	e := MustParseExpr("x + 1")
+	_, err := e.Eval(MapEnv{})
+	var ub *UnboundVarError
+	if !errors.As(err, &ub) {
+		t.Fatalf("err = %v, want UnboundVarError", err)
+	}
+	if ub.Name != "x" {
+		t.Fatalf("unbound name = %q, want x", ub.Name)
+	}
+}
+
+func TestChainEnv(t *testing.T) {
+	chain := ChainEnv{nil, MapEnv{"a": 1}, MapEnv{"a": 2, "b": 3}}
+	if v, ok := chain.Lookup("a"); !ok || v != 1 {
+		t.Fatalf("chain a = %g,%v, want 1,true", v, ok)
+	}
+	if v, ok := chain.Lookup("b"); !ok || v != 3 {
+		t.Fatalf("chain b = %g,%v, want 3,true", v, ok)
+	}
+	if _, ok := chain.Lookup("c"); ok {
+		t.Fatal("chain c found, want missing")
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	cases := []string{"1/0", "1%0", "sqrt(-1)", "log2(0)", "abs(1,2)", "nosuchfn(1)"}
+	for _, src := range cases {
+		t.Run(src, func(t *testing.T) {
+			e, err := ParseExpr(src)
+			if err != nil {
+				t.Fatalf("ParseExpr(%q): %v", src, err)
+			}
+			if _, err := e.Eval(nil); err == nil {
+				t.Fatalf("Eval(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestExprParseErrors(t *testing.T) {
+	cases := []string{"", "1 +", "(1", "1)", "1 ? 2", "a b", "1 = 2", "&", "|x", "3..5", "min(", "@"}
+	for _, src := range cases {
+		t.Run(src, func(t *testing.T) {
+			if _, err := ParseExpr(src); err == nil {
+				t.Fatalf("ParseExpr(%q) succeeded, want error", src)
+			}
+		})
+	}
+}
+
+func TestMustParseExprPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseExpr did not panic on bad input")
+		}
+	}()
+	MustParseExpr("1 +")
+}
+
+func TestExprVars(t *testing.T) {
+	e := MustParseExpr("a + b*c > 2 ? d : min(e, a)")
+	vars := e.Vars(nil)
+	want := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": true}
+	seen := make(map[string]bool)
+	for _, v := range vars {
+		seen[v] = true
+	}
+	for v := range want {
+		if !seen[v] {
+			t.Errorf("missing var %q in %v", v, vars)
+		}
+	}
+}
+
+func TestExprStringReparse(t *testing.T) {
+	srcs := []string{
+		"44 + (client.memory > 24 ? 24 : client.memory) - 17",
+		"0.5 * w ^ 2",
+		"min(a, max(b, 3))",
+		"-x + !y",
+		"a && b || c",
+	}
+	for _, src := range srcs {
+		e := MustParseExpr(src)
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", e.String(), err)
+		}
+		env := MapEnv{"client.memory": 20, "w": 3, "a": 1, "b": 0, "c": 1, "x": 2, "y": 0}
+		v1, err1 := e.Eval(env)
+		v2, err2 := e2.Eval(env)
+		if err1 != nil || err2 != nil || v1 != v2 {
+			t.Fatalf("round-trip eval mismatch for %q: %g vs %g (%v, %v)", src, v1, v2, err1, err2)
+		}
+	}
+}
+
+func TestExprFromNode(t *testing.T) {
+	nodes, err := ParseList("{44 + (client.memory > 24 ? 24 : client.memory) - 17}")
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	e, err := ExprFromNode(nodes[0])
+	if err != nil {
+		t.Fatalf("ExprFromNode: %v", err)
+	}
+	v, err := e.Eval(MapEnv{"client.memory": 32})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if v != 51 {
+		t.Fatalf("braced expr = %g, want 51", v)
+	}
+}
+
+// Property: constant folding equivalence — for any pair of float32 inputs,
+// the evaluator agrees with direct Go arithmetic on a fixed formula.
+func TestPropertyEvalMatchesGo(t *testing.T) {
+	e := MustParseExpr("a*a + 2*a*b + b*b")
+	f := func(a, b float32) bool {
+		af, bf := float64(a), float64(b)
+		got, err := e.Eval(MapEnv{"a": af, "b": bf})
+		if err != nil {
+			return false
+		}
+		want := af*af + 2*af*bf + bf*bf
+		if math.IsNaN(want) {
+			return math.IsNaN(got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ternary always selects exactly one branch value.
+func TestPropertyTernarySelects(t *testing.T) {
+	e := MustParseExpr("c ? x : y")
+	f := func(c bool, x, y float64) bool {
+		cv := 0.0
+		if c {
+			cv = 1
+		}
+		got, err := e.Eval(MapEnv{"c": cv, "x": x, "y": y})
+		if err != nil {
+			return false
+		}
+		if c {
+			return got == x || (math.IsNaN(x) && math.IsNaN(got))
+		}
+		return got == y || (math.IsNaN(y) && math.IsNaN(got))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: comparisons return only 0 or 1.
+func TestPropertyComparisonBoolean(t *testing.T) {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	for _, op := range ops {
+		e := MustParseExpr("a " + op + " b")
+		f := func(a, b float64) bool {
+			v, err := e.Eval(MapEnv{"a": a, "b": b})
+			return err == nil && (v == 0 || v == 1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+	}
+}

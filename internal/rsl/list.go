@@ -1,0 +1,289 @@
+// Package rsl implements the Harmony Resource Specification Language from
+// "Exposing Application Alternatives" (ICDCS 1999).
+//
+// The paper layers the RSL on TCL: applications send scripts whose commands
+// are word lists, with braces grouping nested lists and arbitrary arithmetic
+// expressions. This package substitutes a self-contained implementation of
+// the same surface: a list reader (this file), an expression language
+// (expr.go) with variables, comparisons and ternaries, an evaluator bound to
+// hierarchical namespaces, and a decoder (decode.go) for the primary tags of
+// Table 1: harmonyBundle, node, link, communication, performance,
+// granularity, variable, harmonyNode, and speed.
+package rsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Node is one element of a parsed RSL list: either a bare Word or a braced
+// List of further nodes.
+type Node struct {
+	// Word holds the text of a bare word; empty when IsList.
+	Word string
+	// List holds the children of a braced group; nil when a word.
+	List []Node
+	// IsList distinguishes an empty braced group {} from an empty word.
+	IsList bool
+	// Line is the 1-based source line where the node starts.
+	Line int
+}
+
+// IsWord reports whether the node is a bare word.
+func (n Node) IsWord() bool { return !n.IsList }
+
+// String renders the node back to RSL syntax.
+func (n Node) String() string {
+	if n.IsWord() {
+		return n.Word
+	}
+	parts := make([]string, len(n.List))
+	for i, c := range n.List {
+		parts[i] = c.String()
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Command is one RSL command: a non-empty sequence of nodes terminated by a
+// newline or semicolon at the top level.
+type Command []Node
+
+// String renders the command back to RSL syntax.
+func (c Command) String() string {
+	parts := make([]string, len(c))
+	for i, n := range c {
+		parts[i] = n.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// ParseError describes a syntax error with its source position.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rsl: line %d: %s", e.Line, e.Msg)
+}
+
+type listReader struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+// ParseScript parses an RSL script into its commands. Commands are separated
+// by newlines or semicolons at brace depth zero; `#` starts a comment that
+// runs to end of line. Braces nest arbitrarily and may span lines.
+func ParseScript(src string) ([]Command, error) {
+	r := &listReader{src: []rune(src), line: 1}
+	var cmds []Command
+	for {
+		cmd, err := r.readCommand()
+		if err != nil {
+			return nil, err
+		}
+		if cmd == nil {
+			return cmds, nil
+		}
+		if len(cmd) > 0 {
+			cmds = append(cmds, cmd)
+		}
+	}
+}
+
+// ParseList parses a single braced-list body (without surrounding braces)
+// into nodes, e.g. the contents of a bundle definition string.
+func ParseList(src string) ([]Node, error) {
+	r := &listReader{src: []rune(src), line: 1}
+	var nodes []Node
+	for {
+		r.skipSpaceAndComments(true)
+		if r.eof() {
+			return nodes, nil
+		}
+		n, err := r.readNode()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+}
+
+func (r *listReader) eof() bool { return r.pos >= len(r.src) }
+
+func (r *listReader) peek() rune {
+	if r.eof() {
+		return 0
+	}
+	return r.src[r.pos]
+}
+
+func (r *listReader) next() rune {
+	ch := r.src[r.pos]
+	r.pos++
+	if ch == '\n' {
+		r.line++
+	}
+	return ch
+}
+
+// skipSpaceAndComments consumes spaces, tabs and comments; when crossNewlines
+// is true it also consumes newlines.
+func (r *listReader) skipSpaceAndComments(crossNewlines bool) {
+	for !r.eof() {
+		ch := r.peek()
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r':
+			r.next()
+		case ch == '\n' && crossNewlines:
+			r.next()
+		case ch == '#':
+			for !r.eof() && r.peek() != '\n' {
+				r.next()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// readCommand reads one top-level command; returns nil at end of input.
+func (r *listReader) readCommand() (Command, error) {
+	var cmd Command
+	for {
+		r.skipSpaceAndComments(false)
+		if r.eof() {
+			if len(cmd) == 0 {
+				return nil, nil
+			}
+			return cmd, nil
+		}
+		ch := r.peek()
+		if ch == '\n' || ch == ';' {
+			r.next()
+			if len(cmd) == 0 {
+				continue
+			}
+			return cmd, nil
+		}
+		n, err := r.readNode()
+		if err != nil {
+			return nil, err
+		}
+		cmd = append(cmd, n)
+	}
+}
+
+func (r *listReader) readNode() (Node, error) {
+	line := r.line
+	if r.peek() == '{' {
+		r.next()
+		list, err := r.readBraced()
+		if err != nil {
+			return Node{}, err
+		}
+		return Node{List: list, IsList: true, Line: line}, nil
+	}
+	if r.peek() == '}' {
+		return Node{}, &ParseError{Line: line, Msg: "unexpected '}'"}
+	}
+	if r.peek() == '"' {
+		return r.readQuoted()
+	}
+	return r.readWord()
+}
+
+// readBraced reads list contents up to the matching close brace.
+func (r *listReader) readBraced() ([]Node, error) {
+	nodes := []Node{}
+	for {
+		r.skipSpaceAndComments(true)
+		if r.eof() {
+			return nil, &ParseError{Line: r.line, Msg: "unterminated brace group"}
+		}
+		if r.peek() == '}' {
+			r.next()
+			return nodes, nil
+		}
+		n, err := r.readNode()
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+}
+
+func (r *listReader) readQuoted() (Node, error) {
+	line := r.line
+	r.next() // opening quote
+	var sb strings.Builder
+	for {
+		if r.eof() {
+			return Node{}, &ParseError{Line: line, Msg: "unterminated string"}
+		}
+		ch := r.next()
+		if ch == '"' {
+			return Node{Word: sb.String(), Line: line}, nil
+		}
+		if ch == '\\' && !r.eof() {
+			ch = r.next()
+		}
+		sb.WriteRune(ch)
+	}
+}
+
+// readWord reads a bare word. Words end at whitespace, braces, semicolons or
+// end of input. Expression punctuation (operators, parens, dots, colons) is
+// allowed inside words so that e.g. `client.memory` or `>=17` parse as single
+// words; expression strings with spaces should be braced.
+func (r *listReader) readWord() (Node, error) {
+	line := r.line
+	var sb strings.Builder
+	for !r.eof() {
+		ch := r.peek()
+		if ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n' ||
+			ch == '{' || ch == '}' || ch == ';' || ch == '#' {
+			break
+		}
+		sb.WriteRune(r.next())
+	}
+	w := sb.String()
+	if w == "" {
+		return Node{}, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", r.peek())}
+	}
+	return Node{Word: w, Line: line}, nil
+}
+
+// Words extracts the Word of every child node; it fails if any child is a
+// list. Useful for tags whose arguments must be atoms.
+func Words(nodes []Node) ([]string, error) {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		if n.IsList {
+			return nil, &ParseError{Line: n.Line, Msg: "expected word, found list"}
+		}
+		out[i] = n.Word
+	}
+	return out, nil
+}
+
+// IsIdentWord reports whether s looks like a plain identifier (letters,
+// digits, underscores, dots), as used for resource and tag names.
+func IsIdentWord(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, ch := range s {
+		switch {
+		case unicode.IsLetter(ch) || ch == '_':
+		case unicode.IsDigit(ch) && i > 0:
+		case ch == '.' && i > 0 && i < len(s)-1:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,254 @@
+package rsl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseScriptSimpleCommand(t *testing.T) {
+	cmds, err := ParseScript("harmonyNode alpha {speed 1.5} {memory 128}")
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	cmd := cmds[0]
+	if len(cmd) != 4 {
+		t.Fatalf("got %d nodes, want 4: %v", len(cmd), cmd)
+	}
+	if cmd[0].Word != "harmonyNode" || cmd[1].Word != "alpha" {
+		t.Fatalf("unexpected words: %v", cmd)
+	}
+	if !cmd[2].IsList || len(cmd[2].List) != 2 {
+		t.Fatalf("third node should be a 2-element list: %v", cmd[2])
+	}
+}
+
+func TestParseScriptMultipleCommands(t *testing.T) {
+	src := `
+harmonyNode a {speed 1}
+harmonyNode b {speed 2}; harmonyNode c {speed 3}
+`
+	cmds, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(cmds) != 3 {
+		t.Fatalf("got %d commands, want 3", len(cmds))
+	}
+	for i, name := range []string{"a", "b", "c"} {
+		if cmds[i][1].Word != name {
+			t.Errorf("cmd %d host = %q, want %q", i, cmds[i][1].Word, name)
+		}
+	}
+}
+
+func TestParseScriptComments(t *testing.T) {
+	src := `
+# leading comment
+harmonyNode a {speed 1} # trailing comment
+# another
+`
+	cmds, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+}
+
+func TestBracesSpanLines(t *testing.T) {
+	src := `harmonyBundle app:1 b {
+	{A {node n * {seconds 1}}}
+	{B {node n * {seconds 2}}}
+}`
+	cmds, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	if len(cmds[0]) != 4 {
+		t.Fatalf("got %d nodes, want 4", len(cmds[0]))
+	}
+	opts := cmds[0][3]
+	if !opts.IsList || len(opts.List) != 2 {
+		t.Fatalf("options list wrong: %v", opts)
+	}
+}
+
+func TestQuotedStrings(t *testing.T) {
+	cmds, err := ParseScript(`harmonyNode "host with space" {os "Red Hat"}`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if cmds[0][1].Word != "host with space" {
+		t.Fatalf("quoted word = %q", cmds[0][1].Word)
+	}
+	if cmds[0][2].List[1].Word != "Red Hat" {
+		t.Fatalf("nested quoted word = %q", cmds[0][2].List[1].Word)
+	}
+}
+
+func TestQuotedEscapes(t *testing.T) {
+	cmds, err := ParseScript(`cmd "a\"b"`)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	if got := cmds[0][1].Word; got != `a"b` {
+		t.Fatalf("escaped word = %q, want a\"b", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unterminated brace", "cmd {a b"},
+		{"stray close brace", "cmd a } b"},
+		{"unterminated string", `cmd "abc`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseScript(tc.src); err == nil {
+				t.Fatalf("ParseScript(%q) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := ParseScript("cmd ok\ncmd {unclosed")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line < 2 {
+		t.Fatalf("error line = %d, want >= 2", pe.Line)
+	}
+}
+
+func TestEmptyBraceGroup(t *testing.T) {
+	cmds, err := ParseScript("cmd {}")
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	n := cmds[0][1]
+	if !n.IsList || len(n.List) != 0 {
+		t.Fatalf("empty braces should parse as empty list, got %v", n)
+	}
+}
+
+func TestParseList(t *testing.T) {
+	nodes, err := ParseList("{1 100} {2 55} {4 30}")
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	if len(nodes) != 3 {
+		t.Fatalf("got %d nodes, want 3", len(nodes))
+	}
+	if nodes[1].List[1].Word != "55" {
+		t.Fatalf("nodes[1] = %v", nodes[1])
+	}
+}
+
+func TestNodeStringRoundTrip(t *testing.T) {
+	src := "harmonyBundle app:1 where {{QS {node server h {seconds 42}}} {DS {node client * {memory >=17}}}}"
+	cmds, err := ParseScript(src)
+	if err != nil {
+		t.Fatalf("ParseScript: %v", err)
+	}
+	rendered := cmds[0].String()
+	cmds2, err := ParseScript(rendered)
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", rendered, err)
+	}
+	if cmds2[0].String() != rendered {
+		t.Fatalf("round trip mismatch:\n first: %s\nsecond: %s", rendered, cmds2[0].String())
+	}
+}
+
+func TestWords(t *testing.T) {
+	nodes, err := ParseList("a b c")
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	ws, err := Words(nodes)
+	if err != nil {
+		t.Fatalf("Words: %v", err)
+	}
+	if strings.Join(ws, ",") != "a,b,c" {
+		t.Fatalf("Words = %v", ws)
+	}
+	nodes, err = ParseList("a {b} c")
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	if _, err := Words(nodes); err == nil {
+		t.Fatal("Words with list element succeeded, want error")
+	}
+}
+
+func TestIsIdentWord(t *testing.T) {
+	cases := map[string]bool{
+		"client":        true,
+		"client.memory": true,
+		"_x":            true,
+		"x9":            true,
+		"9x":            false,
+		"":              false,
+		".x":            false,
+		"x.":            false,
+		"a-b":           false,
+	}
+	for in, want := range cases {
+		if got := IsIdentWord(in); got != want {
+			t.Errorf("IsIdentWord(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// Property: rendering a parsed command and re-parsing yields the same render.
+func TestPropertyRenderParseStable(t *testing.T) {
+	// Generate structured scripts from a small alphabet to keep inputs valid.
+	f := func(seed []byte) bool {
+		src := buildScript(seed)
+		cmds, err := ParseScript(src)
+		if err != nil {
+			return true // invalid structures are fine; stability only for valid ones
+		}
+		for _, c := range cmds {
+			r1 := c.String()
+			cmds2, err := ParseScript(r1)
+			if err != nil || len(cmds2) != 1 {
+				return false
+			}
+			if cmds2[0].String() != r1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildScript turns arbitrary bytes into a plausibly structured script.
+func buildScript(seed []byte) string {
+	words := []string{"a", "bb", "x.y", "42", ">=17", "{", "}", " ", "\n", "cmd"}
+	var sb strings.Builder
+	for _, b := range seed {
+		sb.WriteString(words[int(b)%len(words)])
+		sb.WriteByte(' ')
+	}
+	return sb.String()
+}

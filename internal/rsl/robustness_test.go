@@ -1,0 +1,101 @@
+package rsl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the script parser never panics on arbitrary byte strings — it
+// either parses or returns an error.
+func TestPropertyParseScriptNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseScript(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the expression parser never panics, and successful parses
+// evaluate (or fail) without panicking under an empty environment.
+func TestPropertyParseExprNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		e, err := ParseExpr(string(raw))
+		if err == nil && e != nil {
+			_, _ = e.Eval(MapEnv{})
+			_ = e.String()
+			_ = e.Vars(nil)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: DecodeScript never panics on structurally valid but
+// semantically arbitrary scripts assembled from RSL-ish fragments.
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	fragments := []string{
+		"harmonyBundle", "harmonyNode", "A:1", "name", "{", "}",
+		"{node n *", "{seconds 1}", "{memory >=17}", "{link a b 2}",
+		"{variable v {1 2}}", "{performance {{1 5}}}", "{granularity x}",
+		"{os linux}", "*", "42", "{replicate 2}", "\n",
+	}
+	f := func(picks []uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		src := ""
+		if len(picks) > 40 {
+			picks = picks[:40]
+		}
+		for _, p := range picks {
+			src += fragments[int(p)%len(fragments)] + " "
+		}
+		_, _, _ = DecodeScript(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every successfully decoded bundle round-trips through its
+// option and variable accessors without inconsistency.
+func TestPropertyDecodedBundleConsistent(t *testing.T) {
+	bundles, _, err := DecodeScript(figure2aSrc + figure2bSrc + figure3Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bundles {
+		names := b.OptionNames()
+		if len(names) != len(b.Options) {
+			t.Fatalf("%s: %d names for %d options", b.App, len(names), len(b.Options))
+		}
+		for _, n := range names {
+			opt := b.Option(n)
+			if opt == nil || opt.Name != n {
+				t.Fatalf("%s: Option(%q) inconsistent", b.App, n)
+			}
+			for _, vs := range opt.Variables {
+				if got := opt.Variable(vs.Name); got == nil || got.Name != vs.Name {
+					t.Fatalf("%s.%s: Variable(%q) inconsistent", b.App, n, vs.Name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"harmony/internal/hclient"
+	"harmony/internal/protocol"
+)
+
+// rawDial opens a plain TCP connection for protocol-level fault injection.
+func rawDial(t *testing.T, srv *Server) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+func TestServerSurvivesGarbageBytes(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{})
+	conn := rawDial(t, srv)
+	if _, err := conn.Write([]byte("this is not json\n\x00\xff\xfe garbage\n")); err != nil {
+		t.Fatal(err)
+	}
+	// The connection is dropped, but the server keeps serving others.
+	buf := make([]byte, 64)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	_, _ = conn.Read(buf) // drain until close or deadline
+
+	good := dialTest(t, srv)
+	if err := good.Startup("app", false); err != nil {
+		t.Fatalf("healthy client broken after garbage: %v", err)
+	}
+	if got := len(ctrl.Apps()); got != 0 {
+		t.Fatalf("garbage created %d apps", got)
+	}
+}
+
+func TestServerRejectsTypelessMessage(t *testing.T) {
+	srv, _ := startTestServer(t, Config{})
+	conn := rawDial(t, srv)
+	if _, err := conn.Write([]byte("{}\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Reader errors close the connection; a subsequent read returns EOF.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil && n > 0 {
+		t.Fatalf("server replied %q to a typeless message, want close", buf[:n])
+	}
+}
+
+func TestServerRejectsUnknownType(t *testing.T) {
+	srv, _ := startTestServer(t, Config{})
+	conn := rawDial(t, srv)
+	w := protocol.NewWriter(conn)
+	if err := w.Write(&protocol.Message{Type: "frobnicate", Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	r := protocol.NewReader(conn)
+	reply, err := r.Read()
+	if err != nil {
+		t.Fatalf("read reply: %v", err)
+	}
+	if reply.Type != protocol.TypeError || !strings.Contains(reply.Error, "frobnicate") {
+		t.Fatalf("reply = %+v", reply)
+	}
+}
+
+func TestServerRejectsOversizedLine(t *testing.T) {
+	srv, _ := startTestServer(t, Config{})
+	conn := rawDial(t, srv)
+	// Exceed MaxMessageBytes on one line; the scanner errors and the
+	// connection drops without crashing the server.
+	huge := strings.Repeat("x", protocol.MaxMessageBytes+10)
+	if _, err := conn.Write([]byte(huge)); err != nil {
+		// A write error here just means the server closed early — fine.
+		t.Logf("write: %v", err)
+	}
+	_ = conn.Close()
+
+	good := dialTest(t, srv)
+	if err := good.Startup("app", false); err != nil {
+		t.Fatalf("server unhealthy after oversized line: %v", err)
+	}
+}
+
+func TestEndForForeignInstanceRejected(t *testing.T) {
+	srv, _ := startTestServer(t, Config{})
+	owner := dialTest(t, srv)
+	if err := owner.Startup("DBclient", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := owner.BundleSetup(dbRSL); err != nil {
+		t.Fatal(err)
+	}
+	// Another connection tries to end the owner's instance.
+	intruder := rawDial(t, srv)
+	w := protocol.NewWriter(intruder)
+	if err := w.Write(&protocol.Message{Type: protocol.TypeEnd, Seq: 1, Instance: 1}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := protocol.NewReader(intruder).Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeError {
+		t.Fatalf("foreign end reply = %+v", reply)
+	}
+	// The owner's registration is intact.
+	apps, _, err := owner.Status()
+	if err != nil || len(apps) != 1 {
+		t.Fatalf("apps = %v, %v", apps, err)
+	}
+}
+
+func TestConcurrentClientChurn(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{})
+	const rounds = 20
+	errs := make(chan error, rounds)
+	// At most four in flight: the shared server machine has 128 MB and
+	// each registration claims 20 MB, so unbounded concurrency would hit
+	// legitimate capacity exhaustion rather than exercise churn.
+	sem := make(chan struct{}, 4)
+	for i := 0; i < rounds; i++ {
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := hclient.Dial(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Startup("DBclient", false); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := c.BundleSetup(dbRSL); err != nil {
+				errs <- err
+				return
+			}
+			errs <- c.End()
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("churn round: %v", err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(ctrl.Apps()) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d apps leaked after churn", len(ctrl.Apps()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,390 @@
+// Package server implements the Harmony server process (Section 5,
+// Figure 6 of the paper): a daemon that listens on a well-known port,
+// accepts connections from Harmony-aware applications, registers their
+// option bundles with the adaptation controller, and pushes buffered
+// variable updates back when the controller reconfigures them. New values
+// for Harmony variables are buffered until flushed (the paper's
+// flushPendingVars); by default the server flushes immediately after each
+// controller event.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"harmony/internal/core"
+	"harmony/internal/metric"
+	"harmony/internal/namespace"
+	"harmony/internal/protocol"
+	"harmony/internal/rsl"
+)
+
+// Config parameterizes the server.
+type Config struct {
+	// Controller is the adaptation controller to front. Required.
+	Controller *core.Controller
+	// Bus optionally receives application-reported metrics.
+	Bus *metric.Bus
+	// ManualFlush buffers variable updates until FlushPendingVars is
+	// called, instead of flushing after every controller event.
+	ManualFlush bool
+	// Logf logs server events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Server accepts application connections and bridges them to the
+// controller.
+type Server struct {
+	cfg      Config
+	listener net.Listener
+
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	byInst  map[int]*conn
+	pending map[int]map[string]protocol.VarValue
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+type conn struct {
+	srv     *Server
+	netConn net.Conn
+	writeMu sync.Mutex
+	writer  *protocol.Writer
+
+	mu        sync.Mutex
+	appID     string
+	instances map[int]bool
+	variables map[string]protocol.VarValue
+}
+
+// Listen starts a server on addr (":0" picks an ephemeral port for tests;
+// the well-known port is protocol.DefaultPort).
+func Listen(addr string, cfg Config) (*Server, error) {
+	if cfg.Controller == nil {
+		return nil, errors.New("server: config needs a controller")
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		listener: ln,
+		conns:    make(map[*conn]struct{}),
+		byInst:   make(map[int]*conn),
+		pending:  make(map[int]map[string]protocol.VarValue),
+	}
+	if err := cfg.Controller.Subscribe(s.onEvent); err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr reports the listening address.
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close stops accepting, closes all connections and waits for handler
+// goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.listener.Close()
+	for _, c := range conns {
+		_ = c.netConn.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		nc, err := s.listener.Accept()
+		if err != nil {
+			return // closed
+		}
+		c := &conn{
+			srv:       s,
+			netConn:   nc,
+			writer:    protocol.NewWriter(nc),
+			instances: make(map[int]bool),
+			variables: make(map[string]protocol.VarValue),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = nc.Close()
+			return
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.serve()
+		}()
+	}
+}
+
+// onEvent reacts to controller reconfigurations: it builds the variable
+// updates implied by the event and either flushes them to the owning
+// application or buffers them for a manual flush.
+func (s *Server) onEvent(ev core.Event) {
+	vars := s.eventVars(ev)
+	s.mu.Lock()
+	p, ok := s.pending[ev.Instance]
+	if !ok {
+		p = make(map[string]protocol.VarValue)
+		s.pending[ev.Instance] = p
+	}
+	for k, v := range vars {
+		p[k] = v
+	}
+	manual := s.cfg.ManualFlush
+	s.mu.Unlock()
+	if !manual {
+		s.FlushPendingVars(ev.Instance)
+	}
+}
+
+// eventVars derives the update set for an event: the bundle variable takes
+// the chosen option name, option variables take their values, and every
+// namespace leaf under the instance is exported under its dotted suffix so
+// applications can read assigned resources (nodes, memory).
+func (s *Server) eventVars(ev core.Event) map[string]protocol.VarValue {
+	vars := map[string]protocol.VarValue{
+		ev.Bundle: protocol.StrVar(ev.Choice.Option),
+	}
+	for k, v := range ev.Choice.Vars {
+		vars[k] = protocol.NumVar(v)
+	}
+	prefix := namespace.InstancePath(ev.App, ev.Instance)
+	_ = s.cfg.Controller.Namespace().Walk(prefix, func(path string, v namespace.Value) {
+		rel := strings.TrimPrefix(path, prefix+".")
+		if v.IsString {
+			vars[rel] = protocol.StrVar(v.Str)
+		} else {
+			vars[rel] = protocol.NumVar(v.Num)
+		}
+	})
+	return vars
+}
+
+// FlushPendingVars sends buffered variable updates for one instance (the
+// paper's flushPendingVars call). Unknown or disconnected instances keep
+// their buffer for delivery on reconnect-less polling via status.
+func (s *Server) FlushPendingVars(instance int) {
+	s.mu.Lock()
+	c := s.byInst[instance]
+	vars := s.pending[instance]
+	if len(vars) == 0 || c == nil {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.pending, instance)
+	s.mu.Unlock()
+	msg := &protocol.Message{Type: protocol.TypeUpdate, Instance: instance, Vars: vars}
+	if err := c.send(msg); err != nil {
+		s.cfg.Logf("harmony: flush to instance %d: %v", instance, err)
+	}
+}
+
+// FlushAll flushes every instance with pending updates.
+func (s *Server) FlushAll() {
+	s.mu.Lock()
+	ids := make([]int, 0, len(s.pending))
+	for id := range s.pending {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	for _, id := range ids {
+		s.FlushPendingVars(id)
+	}
+}
+
+func (c *conn) send(m *protocol.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.writer.Write(m)
+}
+
+func (c *conn) serve() {
+	defer c.cleanup()
+	r := protocol.NewReader(c.netConn)
+	for {
+		msg, err := r.Read()
+		if err != nil {
+			return
+		}
+		reply := c.handle(msg)
+		if reply != nil {
+			reply.Seq = msg.Seq
+			if err := c.send(reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (c *conn) cleanup() {
+	s := c.srv
+	c.mu.Lock()
+	instances := make([]int, 0, len(c.instances))
+	for id := range c.instances {
+		instances = append(instances, id)
+	}
+	c.mu.Unlock()
+	s.mu.Lock()
+	delete(s.conns, c)
+	for _, id := range instances {
+		delete(s.byInst, id)
+	}
+	s.mu.Unlock()
+	// A dropped connection is an implicit harmony_end.
+	for _, id := range instances {
+		if _, err := s.cfg.Controller.Unregister(id); err != nil {
+			s.cfg.Logf("harmony: unregister %d on disconnect: %v", id, err)
+		}
+	}
+	_ = c.netConn.Close()
+}
+
+func errReply(format string, args ...any) *protocol.Message {
+	return &protocol.Message{Type: protocol.TypeError, Error: fmt.Sprintf(format, args...)}
+}
+
+func (c *conn) handle(msg *protocol.Message) *protocol.Message {
+	switch msg.Type {
+	case protocol.TypeStartup:
+		if msg.AppID == "" {
+			return errReply("startup requires appId")
+		}
+		c.mu.Lock()
+		c.appID = msg.AppID
+		c.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, AppID: msg.AppID}
+
+	case protocol.TypeBundleSetup:
+		return c.handleBundleSetup(msg)
+
+	case protocol.TypeAddVariable:
+		if msg.Name == "" {
+			return errReply("add_variable requires a name")
+		}
+		c.mu.Lock()
+		c.variables[msg.Name] = msg.Value
+		c.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, Name: msg.Name}
+
+	case protocol.TypeReport:
+		if msg.Name == "" {
+			return errReply("report requires a name")
+		}
+		if c.srv.cfg.Bus != nil {
+			_ = c.srv.cfg.Bus.ReportValue(msg.Name, msg.Value.Num, 0)
+		}
+		return &protocol.Message{Type: protocol.TypeAck, Name: msg.Name}
+
+	case protocol.TypeEnd:
+		c.mu.Lock()
+		known := c.instances[msg.Instance]
+		c.mu.Unlock()
+		if !known {
+			return errReply("end: instance %d not owned by this connection", msg.Instance)
+		}
+		if _, err := c.srv.cfg.Controller.Unregister(msg.Instance); err != nil {
+			return errReply("end: %v", err)
+		}
+		c.mu.Lock()
+		delete(c.instances, msg.Instance)
+		c.mu.Unlock()
+		c.srv.mu.Lock()
+		delete(c.srv.byInst, msg.Instance)
+		delete(c.srv.pending, msg.Instance)
+		c.srv.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, Instance: msg.Instance}
+
+	case protocol.TypeStatus:
+		apps := c.srv.cfg.Controller.Apps()
+		reply := &protocol.Message{
+			Type:      protocol.TypeStatusReply,
+			Objective: c.srv.cfg.Controller.Objective(),
+		}
+		for _, a := range apps {
+			reply.Apps = append(reply.Apps, protocol.AppStatus{
+				Instance:         a.Instance,
+				App:              a.App,
+				Bundle:           a.Bundle,
+				Option:           a.Choice.Option,
+				Hosts:            a.Hosts,
+				PredictedSeconds: a.PredictedSeconds,
+				Switches:         a.Switches,
+			})
+		}
+		return reply
+
+	case protocol.TypeReevaluate:
+		c.srv.cfg.Controller.Reevaluate()
+		return &protocol.Message{Type: protocol.TypeAck}
+	}
+	return errReply("unknown message type %q", msg.Type)
+}
+
+func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
+	bundles, _, err := rsl.DecodeScript(msg.RSL)
+	if err != nil {
+		return errReply("bundle_setup: %v", err)
+	}
+	if len(bundles) != 1 {
+		return errReply("bundle_setup: expected exactly one harmonyBundle, got %d", len(bundles))
+	}
+	inst, events, err := c.srv.cfg.Controller.Register(bundles[0])
+	if err != nil {
+		return errReply("bundle_setup: %v", err)
+	}
+	c.mu.Lock()
+	c.instances[inst] = true
+	c.mu.Unlock()
+	c.srv.mu.Lock()
+	c.srv.byInst[inst] = c
+	c.srv.mu.Unlock()
+
+	// The initial configuration rides back on the ack so the application
+	// can start without waiting for a separate update.
+	var initialVars map[string]protocol.VarValue
+	for _, ev := range events {
+		if ev.Instance == inst {
+			initialVars = c.srv.eventVars(ev)
+			// Consume the buffered copy created by onEvent.
+			c.srv.mu.Lock()
+			delete(c.srv.pending, inst)
+			c.srv.mu.Unlock()
+			break
+		}
+	}
+	return &protocol.Message{
+		Type:     protocol.TypeAck,
+		Instance: inst,
+		Vars:     initialVars,
+	}
+}

@@ -1,0 +1,30 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	c := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ScheduleAfter(time.Second, func(time.Duration) {}); err != nil {
+			b.Fatal(err)
+		}
+		c.RunAll()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := New()
+		for j := 0; j < 128; j++ {
+			at := time.Duration((j*37)%100) * time.Millisecond
+			if _, err := c.ScheduleAt(at, func(time.Duration) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		c.RunAll()
+	}
+}

@@ -1,0 +1,248 @@
+// Package simclock provides a discrete-event virtual clock.
+//
+// Active Harmony's evaluation (Figures 4 and 7 of the paper) runs workloads
+// whose interesting behaviour unfolds over hundreds of wall-clock seconds on
+// an IBM SP-2. This package substitutes a deterministic virtual clock so the
+// same phase structure replays in microseconds: events are scheduled at
+// virtual instants, and Run advances time from event to event with no real
+// sleeping. The clock is safe for concurrent use.
+package simclock
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrStopped is returned by scheduling operations after the clock has been
+// stopped.
+var ErrStopped = errors.New("simclock: clock stopped")
+
+// Event is a callback scheduled to run at a virtual instant. Events run on
+// the goroutine that calls Run or Step, in timestamp order; ties are broken
+// by scheduling order (FIFO), which keeps runs deterministic.
+type Event func(now time.Duration)
+
+type scheduledEvent struct {
+	at    time.Duration
+	seq   uint64
+	fn    Event
+	id    EventID
+	index int // heap index, maintained by heap.Interface
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+type eventQueue []*scheduledEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*scheduledEvent)
+	if !ok {
+		return
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Clock is a discrete-event virtual clock. The zero value is not usable;
+// construct one with New.
+type Clock struct {
+	mu        sync.Mutex
+	now       time.Duration
+	queue     eventQueue
+	nextSeq   uint64
+	nextID    EventID
+	cancelled map[EventID]struct{}
+	stopped   bool
+}
+
+// New returns a clock whose current virtual time is zero.
+func New() *Clock {
+	return &Clock{
+		cancelled: make(map[EventID]struct{}),
+	}
+}
+
+// Now reports the current virtual time.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Len reports the number of pending (non-cancelled) events.
+func (c *Clock) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue) - len(c.cancelled)
+}
+
+// ScheduleAt registers fn to run at the given absolute virtual time. If at is
+// earlier than the current time, the event fires at the current time (it is
+// never dropped). It returns an id usable with Cancel.
+func (c *Clock) ScheduleAt(at time.Duration, fn Event) (EventID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return 0, ErrStopped
+	}
+	if fn == nil {
+		return 0, errors.New("simclock: nil event")
+	}
+	if at < c.now {
+		at = c.now
+	}
+	c.nextID++
+	c.nextSeq++
+	ev := &scheduledEvent{at: at, seq: c.nextSeq, fn: fn, id: c.nextID}
+	heap.Push(&c.queue, ev)
+	return ev.id, nil
+}
+
+// ScheduleAfter registers fn to run d from the current virtual time.
+func (c *Clock) ScheduleAfter(d time.Duration, fn Event) (EventID, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("simclock: negative delay %v", d)
+	}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return 0, ErrStopped
+	}
+	at := c.now + d
+	c.mu.Unlock()
+	return c.ScheduleAt(at, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or unknown id
+// is a no-op and reports false.
+func (c *Clock) Cancel(id EventID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, ev := range c.queue {
+		if ev.id == id {
+			if _, dup := c.cancelled[id]; dup {
+				return false
+			}
+			c.cancelled[id] = struct{}{}
+			return true
+		}
+	}
+	return false
+}
+
+// Stop marks the clock stopped. Pending events are discarded and further
+// scheduling fails with ErrStopped. Stop is idempotent.
+func (c *Clock) Stop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stopped = true
+	c.queue = nil
+	c.cancelled = make(map[EventID]struct{})
+}
+
+// pop removes and returns the earliest runnable event, skipping cancelled
+// ones, or nil if none remain.
+func (c *Clock) pop() *scheduledEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.queue) > 0 {
+		ev, ok := heap.Pop(&c.queue).(*scheduledEvent)
+		if !ok {
+			continue
+		}
+		if _, skip := c.cancelled[ev.id]; skip {
+			delete(c.cancelled, ev.id)
+			continue
+		}
+		c.now = ev.at
+		return ev
+	}
+	return nil
+}
+
+// Step runs the single earliest pending event, advancing virtual time to its
+// timestamp. It reports whether an event ran.
+func (c *Clock) Step() bool {
+	ev := c.pop()
+	if ev == nil {
+		return false
+	}
+	ev.fn(ev.at)
+	return true
+}
+
+// Run executes events in timestamp order until the queue drains or until
+// virtual time would exceed horizon (inclusive). Events may schedule further
+// events. It returns the number of events executed.
+func (c *Clock) Run(horizon time.Duration) int {
+	ran := 0
+	for {
+		c.mu.Lock()
+		next := -1 * time.Second
+		if len(c.queue) > 0 {
+			next = c.queue[0].at
+		}
+		stopped := c.stopped
+		c.mu.Unlock()
+		if stopped || next < 0 || next > horizon {
+			return ran
+		}
+		if c.Step() {
+			ran++
+		} else {
+			return ran
+		}
+	}
+}
+
+// RunAll executes every pending event (including newly scheduled ones) until
+// the queue drains. It returns the number of events executed.
+func (c *Clock) RunAll() int {
+	ran := 0
+	for c.Step() {
+		ran++
+	}
+	return ran
+}
+
+// AdvanceTo moves the clock to at without running events scheduled later
+// than at; events due at or before at are run first. It is the virtual
+// analogue of sleeping until an instant.
+func (c *Clock) AdvanceTo(at time.Duration) int {
+	ran := c.Run(at)
+	c.mu.Lock()
+	if !c.stopped && at > c.now {
+		c.now = at
+	}
+	c.mu.Unlock()
+	return ran
+}

@@ -1,0 +1,258 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewClockStartsAtZero(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len() = %d, want 0", got)
+	}
+}
+
+func TestScheduleAtRunsInOrder(t *testing.T) {
+	c := New()
+	var order []int
+	for i, at := range []time.Duration{30 * time.Second, 10 * time.Second, 20 * time.Second} {
+		i := i
+		if _, err := c.ScheduleAt(at, func(time.Duration) { order = append(order, i) }); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	if ran := c.RunAll(); ran != 3 {
+		t.Fatalf("RunAll ran %d events, want 3", ran)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTiesBreakFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if _, err := c.ScheduleAt(time.Second, func(time.Duration) { order = append(order, i) }); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	c.RunAll()
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("tie order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestScheduleAfterUsesCurrentTime(t *testing.T) {
+	c := New()
+	var firedAt time.Duration
+	_, err := c.ScheduleAt(10*time.Second, func(now time.Duration) {
+		if _, err := c.ScheduleAfter(5*time.Second, func(n time.Duration) { firedAt = n }); err != nil {
+			t.Errorf("nested ScheduleAfter: %v", err)
+		}
+	})
+	if err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	c.RunAll()
+	if firedAt != 15*time.Second {
+		t.Fatalf("nested event fired at %v, want 15s", firedAt)
+	}
+}
+
+func TestScheduleAfterRejectsNegative(t *testing.T) {
+	c := New()
+	if _, err := c.ScheduleAfter(-time.Second, func(time.Duration) {}); err == nil {
+		t.Fatal("ScheduleAfter(-1s) succeeded, want error")
+	}
+}
+
+func TestScheduleNilEventFails(t *testing.T) {
+	c := New()
+	if _, err := c.ScheduleAt(0, nil); err == nil {
+		t.Fatal("ScheduleAt(nil) succeeded, want error")
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	c := New()
+	c.AdvanceTo(100 * time.Second)
+	var at time.Duration
+	if _, err := c.ScheduleAt(5*time.Second, func(now time.Duration) { at = now }); err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	c.RunAll()
+	if at != 100*time.Second {
+		t.Fatalf("past event ran at %v, want clamped to 100s", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	c := New()
+	fired := false
+	id, err := c.ScheduleAt(time.Second, func(time.Duration) { fired = true })
+	if err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	if !c.Cancel(id) {
+		t.Fatal("Cancel reported false for pending event")
+	}
+	if c.Cancel(id) {
+		t.Fatal("double Cancel reported true")
+	}
+	c.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelUnknownID(t *testing.T) {
+	c := New()
+	if c.Cancel(12345) {
+		t.Fatal("Cancel of unknown id reported true")
+	}
+}
+
+func TestRunHorizonStopsEarly(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	for _, at := range []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second} {
+		if _, err := c.ScheduleAt(at, func(now time.Duration) { fired = append(fired, now) }); err != nil {
+			t.Fatalf("ScheduleAt: %v", err)
+		}
+	}
+	if ran := c.Run(2 * time.Second); ran != 2 {
+		t.Fatalf("Run(2s) ran %d, want 2", ran)
+	}
+	if c.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v after horizon run, want 2s", c.Now())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1 pending", c.Len())
+	}
+}
+
+func TestAdvanceToMovesIdleClock(t *testing.T) {
+	c := New()
+	c.AdvanceTo(42 * time.Second)
+	if c.Now() != 42*time.Second {
+		t.Fatalf("Now() = %v, want 42s", c.Now())
+	}
+	// AdvanceTo backwards is a no-op.
+	c.AdvanceTo(10 * time.Second)
+	if c.Now() != 42*time.Second {
+		t.Fatalf("Now() = %v after backwards advance, want 42s", c.Now())
+	}
+}
+
+func TestStopDiscardsAndRejects(t *testing.T) {
+	c := New()
+	fired := false
+	if _, err := c.ScheduleAt(time.Second, func(time.Duration) { fired = true }); err != nil {
+		t.Fatalf("ScheduleAt: %v", err)
+	}
+	c.Stop()
+	if ran := c.RunAll(); ran != 0 {
+		t.Fatalf("RunAll after Stop ran %d events", ran)
+	}
+	if fired {
+		t.Fatal("event fired after Stop")
+	}
+	if _, err := c.ScheduleAt(time.Second, func(time.Duration) {}); err != ErrStopped {
+		t.Fatalf("ScheduleAt after Stop: err = %v, want ErrStopped", err)
+	}
+	c.Stop() // idempotent
+}
+
+func TestConcurrentScheduling(t *testing.T) {
+	c := New()
+	const n = 100
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	count := 0
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.ScheduleAt(time.Duration(i)*time.Millisecond, func(time.Duration) {
+				mu.Lock()
+				count++
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Errorf("ScheduleAt: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if ran := c.RunAll(); ran != n {
+		t.Fatalf("ran %d events, want %d", ran, n)
+	}
+	if count != n {
+		t.Fatalf("count = %d, want %d", count, n)
+	}
+}
+
+// Property: time never goes backwards across any sequence of scheduled events.
+func TestPropertyMonotonicTime(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		c := New()
+		last := time.Duration(-1)
+		ok := true
+		for _, d := range delaysMs {
+			at := time.Duration(d) * time.Millisecond
+			_, err := c.ScheduleAt(at, func(now time.Duration) {
+				if now < last {
+					ok = false
+				}
+				last = now
+			})
+			if err != nil {
+				return false
+			}
+		}
+		c.RunAll()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RunAll executes exactly the number of scheduled, non-cancelled events.
+func TestPropertyRunAllCount(t *testing.T) {
+	f := func(delaysMs []uint16, cancelMask []bool) bool {
+		c := New()
+		ids := make([]EventID, 0, len(delaysMs))
+		for _, d := range delaysMs {
+			id, err := c.ScheduleAt(time.Duration(d)*time.Millisecond, func(time.Duration) {})
+			if err != nil {
+				return false
+			}
+			ids = append(ids, id)
+		}
+		cancelled := 0
+		for i, id := range ids {
+			if i < len(cancelMask) && cancelMask[i] {
+				if c.Cancel(id) {
+					cancelled++
+				}
+			}
+		}
+		return c.RunAll() == len(ids)-cancelled
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,250 @@
+// Package trace records experiment time series and renders them as the
+// tables and ASCII figures the benchmark harness prints. Each figure in
+// the paper becomes a set of named series ("client 1", "client 2", ...)
+// whose points are (virtual time, value) pairs; renderers aggregate them
+// into the same rows/curves the paper reports.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Point is one observation.
+type Point struct {
+	// At is the virtual timestamp.
+	At time.Duration
+	// Value is the observation (seconds, nodes, ...).
+	Value float64
+}
+
+// Recorder accumulates named series; safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	series map[string][]Point
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string][]Point)}
+}
+
+// Add appends one point to a series, creating it on first use.
+func (r *Recorder) Add(series string, at time.Duration, value float64) error {
+	if series == "" {
+		return errors.New("trace: series needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.series[series]; !ok {
+		r.order = append(r.order, series)
+	}
+	r.series[series] = append(r.series[series], Point{At: at, Value: value})
+	return nil
+}
+
+// Series returns a copy of one series' points in insertion order.
+func (r *Recorder) Series(name string) []Point {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	pts := r.series[name]
+	out := make([]Point, len(pts))
+	copy(out, pts)
+	return out
+}
+
+// Names lists series in first-use order.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Len reports the number of points in a series.
+func (r *Recorder) Len(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.series[name])
+}
+
+// WindowMean averages a series' values within [from, to); ok is false when
+// the window is empty.
+func (r *Recorder) WindowMean(name string, from, to time.Duration) (float64, bool) {
+	pts := r.Series(name)
+	sum, n := 0.0, 0
+	for _, p := range pts {
+		if p.At >= from && p.At < to {
+			sum += p.Value
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// PhaseRow is one row of a phase table: a time window plus one aggregated
+// value per series (NaN when a series has no points in the window).
+type PhaseRow struct {
+	// From and To bound the window.
+	From, To time.Duration
+	// Values holds per-series window means, ordered like the request.
+	Values []float64
+}
+
+// PhaseTable aggregates several series over fixed windows.
+func (r *Recorder) PhaseTable(seriesNames []string, windows []time.Duration) ([]PhaseRow, error) {
+	if len(windows) < 2 {
+		return nil, errors.New("trace: need at least two window boundaries")
+	}
+	for i := 1; i < len(windows); i++ {
+		if windows[i] <= windows[i-1] {
+			return nil, fmt.Errorf("trace: window boundaries must increase (%v >= %v)", windows[i-1], windows[i])
+		}
+	}
+	rows := make([]PhaseRow, 0, len(windows)-1)
+	for i := 1; i < len(windows); i++ {
+		row := PhaseRow{From: windows[i-1], To: windows[i]}
+		for _, name := range seriesNames {
+			if v, ok := r.WindowMean(name, row.From, row.To); ok {
+				row.Values = append(row.Values, v)
+			} else {
+				row.Values = append(row.Values, math.NaN())
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatPhaseTable renders a phase table with a header, one row per
+// window; NaN cells print as "-".
+func FormatPhaseTable(title string, seriesNames []string, rows []PhaseRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-16s", "window")
+	for _, n := range seriesNames {
+		fmt.Fprintf(&sb, " %14s", n)
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&sb, "%6.0fs-%6.0fs ", row.From.Seconds(), row.To.Seconds())
+		for _, v := range row.Values {
+			if math.IsNaN(v) {
+				fmt.Fprintf(&sb, " %14s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %14.2f", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderASCII draws series as a crude time/value chart for terminal
+// inspection: one row per series bucket, '·' marking samples. Width and
+// height bound the canvas.
+func (r *Recorder) RenderASCII(names []string, width, height int) (string, error) {
+	if width < 10 || height < 3 {
+		return "", fmt.Errorf("trace: canvas %dx%d too small", width, height)
+	}
+	var all []Point
+	for _, n := range names {
+		all = append(all, r.Series(n)...)
+	}
+	if len(all) == 0 {
+		return "", errors.New("trace: nothing to render")
+	}
+	minT, maxT := all[0].At, all[0].At
+	minV, maxV := all[0].Value, all[0].Value
+	for _, p := range all {
+		if p.At < minT {
+			minT = p.At
+		}
+		if p.At > maxT {
+			maxT = p.At
+		}
+		if p.Value < minV {
+			minV = p.Value
+		}
+		if p.Value > maxV {
+			maxV = p.Value
+		}
+	}
+	if maxT == minT {
+		maxT = minT + 1
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	canvas := make([][]byte, height)
+	for i := range canvas {
+		canvas[i] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte("*o+x#@%&")
+	for si, name := range names {
+		mark := marks[si%len(marks)]
+		for _, p := range r.Series(name) {
+			x := int(float64(width-1) * float64(p.At-minT) / float64(maxT-minT))
+			y := int(float64(height-1) * (p.Value - minV) / (maxV - minV))
+			row := height - 1 - y
+			canvas[row][x] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%.1f\n", maxV)
+	for _, row := range canvas {
+		sb.Write(row)
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%.1f  [%.0fs .. %.0fs]", minV, minT.Seconds(), maxT.Seconds())
+	for si, name := range names {
+		fmt.Fprintf(&sb, "  %c=%s", marks[si%len(marks)], name)
+	}
+	sb.WriteByte('\n')
+	return sb.String(), nil
+}
+
+// SeriesStats summarizes a series.
+type SeriesStats struct {
+	// Count, Mean, Min, Max summarize the values.
+	Count          int
+	Mean, Min, Max float64
+}
+
+// Stats computes summary statistics for a series.
+func (r *Recorder) Stats(name string) SeriesStats {
+	pts := r.Series(name)
+	if len(pts) == 0 {
+		return SeriesStats{}
+	}
+	st := SeriesStats{Count: len(pts), Min: pts[0].Value, Max: pts[0].Value}
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Value
+		if p.Value < st.Min {
+			st.Min = p.Value
+		}
+		if p.Value > st.Max {
+			st.Max = p.Value
+		}
+	}
+	st.Mean = sum / float64(len(pts))
+	return st
+}
+
+// SortedByTime returns the series' points ordered by timestamp (stable).
+func (r *Recorder) SortedByTime(name string) []Point {
+	pts := r.Series(name)
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].At < pts[j].At })
+	return pts
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAddAndSeries(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Add("c1", time.Second, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("c1", 2*time.Second, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("c2", time.Second, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("", 0, 0); err == nil {
+		t.Fatal("empty series name accepted")
+	}
+	pts := r.Series("c1")
+	if len(pts) != 2 || pts[1].Value != 7 {
+		t.Fatalf("series = %+v", pts)
+	}
+	if r.Len("c1") != 2 || r.Len("none") != 0 {
+		t.Fatal("Len broken")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "c1" || names[1] != "c2" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestWindowMean(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 10; i++ {
+		if err := r.Add("s", time.Duration(i)*time.Second, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, ok := r.WindowMean("s", 2*time.Second, 5*time.Second)
+	if !ok || m != 3 {
+		t.Fatalf("mean = %g, %v", m, ok)
+	}
+	if _, ok := r.WindowMean("s", 100*time.Second, 200*time.Second); ok {
+		t.Fatal("empty window ok")
+	}
+}
+
+func TestPhaseTable(t *testing.T) {
+	r := NewRecorder()
+	// client 1 reports 5 in phase 1, 10 in phase 2; client 2 only phase 2.
+	if err := r.Add("client 1", 50*time.Second, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("client 1", 250*time.Second, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("client 2", 260*time.Second, 11); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := r.PhaseTable([]string{"client 1", "client 2"},
+		[]time.Duration{0, 200 * time.Second, 400 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Values[0] != 5 || !math.IsNaN(rows[0].Values[1]) {
+		t.Fatalf("row0 = %+v", rows[0])
+	}
+	if rows[1].Values[0] != 10 || rows[1].Values[1] != 11 {
+		t.Fatalf("row1 = %+v", rows[1])
+	}
+	out := FormatPhaseTable("fig", []string{"client 1", "client 2"}, rows)
+	if !strings.Contains(out, "fig") || !strings.Contains(out, "-") || !strings.Contains(out, "11.00") {
+		t.Fatalf("formatted:\n%s", out)
+	}
+	if _, err := r.PhaseTable(nil, []time.Duration{0}); err == nil {
+		t.Fatal("single boundary accepted")
+	}
+	if _, err := r.PhaseTable(nil, []time.Duration{time.Second, time.Second}); err == nil {
+		t.Fatal("non-increasing boundaries accepted")
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 20; i++ {
+		if err := r.Add("a", time.Duration(i)*time.Second, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Add("b", time.Duration(i)*time.Second, float64(20-i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := r.RenderASCII([]string{"a", "b"}, 40, 10)
+	if err != nil {
+		t.Fatalf("RenderASCII: %v", err)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("chart missing marks:\n%s", out)
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if _, err := r.RenderASCII([]string{"a"}, 5, 2); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+	empty := NewRecorder()
+	if _, err := empty.RenderASCII([]string{"x"}, 40, 10); err == nil {
+		t.Fatal("empty render accepted")
+	}
+}
+
+func TestRenderASCIIFlatSeries(t *testing.T) {
+	r := NewRecorder()
+	if err := r.Add("flat", time.Second, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RenderASCII([]string{"flat"}, 20, 5); err != nil {
+		t.Fatalf("flat series render: %v", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := NewRecorder()
+	for _, v := range []float64{4, 2, 6} {
+		if err := r.Add("s", 0, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.Stats("s")
+	if st.Count != 3 || st.Mean != 4 || st.Min != 2 || st.Max != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if empty := r.Stats("none"); empty.Count != 0 {
+		t.Fatalf("empty stats = %+v", empty)
+	}
+}
+
+func TestSortedByTime(t *testing.T) {
+	r := NewRecorder()
+	times := []time.Duration{3 * time.Second, time.Second, 2 * time.Second}
+	for i, at := range times {
+		if err := r.Add("s", at, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := r.SortedByTime("s")
+	if pts[0].At != time.Second || pts[2].At != 3*time.Second {
+		t.Fatalf("sorted = %+v", pts)
+	}
+	// Original insertion order is preserved in Series.
+	if r.Series("s")[0].At != 3*time.Second {
+		t.Fatal("Series mutated by SortedByTime")
+	}
+}
+
+// Property: WindowMean over the full span equals Stats.Mean.
+func TestPropertyWindowMeanMatchesStats(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		for i, v := range raw {
+			if err := r.Add("s", time.Duration(i)*time.Second, float64(v)); err != nil {
+				return false
+			}
+		}
+		m, ok := r.WindowMean("s", 0, time.Duration(len(raw))*time.Second)
+		if !ok {
+			return false
+		}
+		return math.Abs(m-r.Stats("s").Mean) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
