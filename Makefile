@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test check fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 gate: gofmt, go vet, race detector.
+check:
+	sh scripts/check.sh
+
+# Short fuzz smoke of the parser->decoder->analyzer pipeline.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/rsl/
+	$(GO) test -run=^$$ -fuzz=FuzzVet -fuzztime=30s ./internal/vet/

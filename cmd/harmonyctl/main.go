@@ -1,27 +1,34 @@
-// Command harmonyctl inspects and pokes a running Harmony server.
+// Command harmonyctl inspects and pokes a running Harmony server, and
+// statically analyzes RSL specs offline.
 //
 // Usage:
 //
 //	harmonyctl [-addr host:9989] status      # list applications + objective
 //	harmonyctl [-addr host:9989] reevaluate  # force an optimizer pass
+//	harmonyctl vet [-json] <file.rsl>...     # static-analyze specs (offline)
+//
+// vet exits non-zero when any file carries an error-severity diagnostic.
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"harmony"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "harmonyctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("harmonyctl", flag.ContinueOnError)
 	addr := fs.String("addr", fmt.Sprintf("127.0.0.1:%d", harmony.DefaultPort), "Harmony server address")
 	if err := fs.Parse(args); err != nil {
@@ -31,6 +38,16 @@ func run(args []string) error {
 	if fs.NArg() > 0 {
 		cmd = fs.Arg(0)
 	}
+
+	// vet is fully offline; the remaining commands talk to a server.
+	switch cmd {
+	case "vet":
+		return runVet(fs.Args()[1:], stdout)
+	case "status", "reevaluate":
+	default:
+		return fmt.Errorf("unknown command %q (want status, reevaluate or vet)", cmd)
+	}
+
 	client, err := harmony.Dial(*addr)
 	if err != nil {
 		return err
@@ -44,23 +61,68 @@ func run(args []string) error {
 			return err
 		}
 		if len(apps) == 0 {
-			fmt.Println("no applications registered")
+			fmt.Fprintln(stdout, "no applications registered")
 			return nil
 		}
-		fmt.Printf("%-10s %-12s %-10s %-8s %10s %8s  %s\n",
+		fmt.Fprintf(stdout, "%-10s %-12s %-10s %-8s %10s %8s  %s\n",
 			"instance", "app", "bundle", "option", "predicted", "switches", "hosts")
 		for _, a := range apps {
-			fmt.Printf("%-10d %-12s %-10s %-8s %9.2fs %8d  %v\n",
+			fmt.Fprintf(stdout, "%-10d %-12s %-10s %-8s %9.2fs %8d  %v\n",
 				a.Instance, a.App, a.Bundle, a.Option, a.PredictedSeconds, a.Switches, a.Hosts)
 		}
-		fmt.Printf("objective: %.3f\n", objective)
+		fmt.Fprintf(stdout, "objective: %.3f\n", objective)
 		return nil
 	case "reevaluate":
 		if err := client.Reevaluate(); err != nil {
 			return err
 		}
-		fmt.Println("re-evaluation triggered")
+		fmt.Fprintln(stdout, "re-evaluation triggered")
 		return nil
 	}
-	return fmt.Errorf("unknown command %q (want status or reevaluate)", cmd)
+	panic("unreachable")
+}
+
+// runVet analyzes each file and prints its diagnostics, prefixed by the
+// filename (or as a JSON array of reports with -json). It fails when any
+// file carries an error-severity finding.
+func runVet(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("harmonyctl vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array of reports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("vet: no files given (usage: harmonyctl vet [-json] <file.rsl>...)")
+	}
+	reports := make([]*harmony.VetReport, 0, fs.NArg())
+	errFiles := 0
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("vet: %w", err)
+		}
+		rep := harmony.VetScript(string(src), harmony.VetOptions{})
+		rep.File = file
+		reports = append(reports, rep)
+		if rep.HasErrors() {
+			errFiles++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			for _, d := range rep.Diags {
+				fmt.Fprintf(stdout, "%s:%s\n", rep.File, d)
+			}
+		}
+	}
+	if errFiles > 0 {
+		return fmt.Errorf("vet: errors in %d of %d file(s)", errFiles, len(reports))
+	}
+	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"harmony"
@@ -31,19 +36,94 @@ func startServer(t *testing.T) string {
 
 func TestStatusAgainstLiveServer(t *testing.T) {
 	addr := startServer(t)
-	if err := run([]string{"-addr", addr, "status"}); err != nil {
+	if err := run([]string{"-addr", addr, "status"}, io.Discard); err != nil {
 		t.Fatalf("status: %v", err)
 	}
-	if err := run([]string{"-addr", addr, "reevaluate"}); err != nil {
+	if err := run([]string{"-addr", addr, "reevaluate"}, io.Discard); err != nil {
 		t.Fatalf("reevaluate: %v", err)
 	}
-	if err := run([]string{"-addr", addr, "bogus"}); err == nil {
+}
+
+func TestUnknownCommandEnumeratesSubcommands(t *testing.T) {
+	err := run([]string{"bogus"}, io.Discard)
+	if err == nil {
 		t.Fatal("unknown command accepted")
+	}
+	for _, want := range []string{"status", "reevaluate", "vet"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention subcommand %q", err, want)
+		}
 	}
 }
 
 func TestDialFailure(t *testing.T) {
-	if err := run([]string{"-addr", "127.0.0.1:1", "status"}); err == nil {
+	if err := run([]string{"-addr", "127.0.0.1:1", "status"}, io.Discard); err == nil {
 		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func writeSpec(t *testing.T, name, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goodSpec = `harmonyBundle App:1 b {
+	{only {node n * {memory 4}}}
+}
+`
+
+const badSpec = `harmonyBundle App:1 b {
+	{only {node n * {memory bogus}}}
+}
+`
+
+// TestVetOffline verifies vet needs no server: a clean file succeeds, a
+// broken one fails with its diagnostics on stdout, file-prefixed.
+func TestVetOffline(t *testing.T) {
+	good := writeSpec(t, "good.rsl", goodSpec)
+	if err := run([]string{"vet", good}, io.Discard); err != nil {
+		t.Fatalf("vet on a clean spec: %v", err)
+	}
+
+	bad := writeSpec(t, "bad.rsl", badSpec)
+	var sb strings.Builder
+	err := run([]string{"vet", good, bad}, &sb)
+	if err == nil {
+		t.Fatal("vet on a broken spec succeeded")
+	}
+	if !strings.Contains(err.Error(), "1 of 2") {
+		t.Errorf("error %q does not count broken files", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, bad+":") || !strings.Contains(out, "[unbound-var]") {
+		t.Errorf("diagnostics missing file prefix or check ID:\n%s", out)
+	}
+}
+
+func TestVetJSON(t *testing.T) {
+	bad := writeSpec(t, "bad.rsl", badSpec)
+	var sb strings.Builder
+	if err := run([]string{"vet", "-json", bad}, &sb); err == nil {
+		t.Fatal("vet on a broken spec succeeded")
+	}
+	var reports []*harmony.VetReport
+	if err := json.Unmarshal([]byte(sb.String()), &reports); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(reports) != 1 || !reports[0].HasErrors() {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	if reports[0].Diags[0].Check != "unbound-var" {
+		t.Errorf("check = %q, want unbound-var", reports[0].Diags[0].Check)
+	}
+}
+
+func TestVetNoFiles(t *testing.T) {
+	if err := run([]string{"vet"}, io.Discard); err == nil {
+		t.Fatal("vet without files succeeded")
 	}
 }

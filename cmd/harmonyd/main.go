@@ -7,6 +7,7 @@
 //
 //	harmonyd [-addr :9989] [-sp2 8 | -resources cluster.rsl]
 //	         [-objective mean] [-reeval 30s] [-exhaustive]
+//	         [-vet warn|reject|off]
 //
 // The resource file contains harmonyNode declarations, e.g.
 //
@@ -40,7 +41,12 @@ func run(args []string) error {
 	objectiveName := fs.String("objective", "mean", "objective function: mean|total|throughput|max|weighted")
 	reeval := fs.Duration("reeval", 30*time.Second, "periodic re-evaluation interval (virtual time; 0 disables)")
 	exhaustive := fs.Bool("exhaustive", false, "use the exhaustive optimizer instead of greedy")
+	vetFlag := fs.String("vet", "warn", "static-analyze incoming bundles: warn (log findings), reject (refuse error-severity specs), off")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	vetMode, err := harmony.ParseVetMode(*vetFlag)
+	if err != nil {
 		return err
 	}
 
@@ -122,6 +128,7 @@ func run(args []string) error {
 	srv, err := harmony.ListenAndServe(*addr, harmony.ServerConfig{
 		Controller: ctrl,
 		Bus:        bus,
+		Vet:        vetMode,
 		Logf:       log.Printf,
 	})
 	if err != nil {

@@ -16,6 +16,9 @@ func TestFlagValidation(t *testing.T) {
 	if err := run([]string{"-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
 	}
+	if err := run([]string{"-vet", "bogus", "-sp2", "1", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Fatal("bogus vet mode accepted")
+	}
 }
 
 func TestResourcesFileErrors(t *testing.T) {

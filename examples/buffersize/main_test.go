@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"harmony"
+)
+
+// TestBundlesVetClean keeps the shipped specs analyzer-clean.
+func TestBundlesVetClean(t *testing.T) {
+	for name, src := range map[string]string{
+		"cacheBundle": cacheBundle,
+		"hogBundle":   hogBundle,
+	} {
+		for _, d := range harmony.VetScript(src, harmony.VetOptions{}).Diags {
+			t.Errorf("vet %s: %s", name, d)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"harmony"
+)
+
+// TestBundleVetClean keeps the generated spec analyzer-clean, including
+// against the example's own cluster declarations.
+func TestBundleVetClean(t *testing.T) {
+	src := `
+harmonyNode dbserver {speed 1} {memory 128} {os linux}
+harmonyNode dbclient1 {speed 1} {memory 64} {os linux}
+` + dbBundle(1, "dbclient1")
+	for _, d := range harmony.VetScript(src, harmony.VetOptions{}).Diags {
+		t.Errorf("vet: %s", d)
+	}
+}

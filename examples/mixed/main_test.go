@@ -1,0 +1,19 @@
+package main
+
+import (
+	"testing"
+
+	"harmony"
+)
+
+// TestBundlesVetClean keeps the generated specs analyzer-clean.
+func TestBundlesVetClean(t *testing.T) {
+	for name, src := range map[string]string{
+		"computeBundle": computeBundle(),
+		"dbBundle":      dbBundle(1),
+	} {
+		for _, d := range harmony.VetScript(src, harmony.VetOptions{}).Diags {
+			t.Errorf("vet %s: %s", name, d)
+		}
+	}
+}

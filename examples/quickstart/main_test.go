@@ -1,0 +1,14 @@
+package main
+
+import (
+	"testing"
+
+	"harmony"
+)
+
+// TestBundleVetClean keeps the shipped spec analyzer-clean.
+func TestBundleVetClean(t *testing.T) {
+	for _, d := range harmony.VetScript(simpleBundle, harmony.VetOptions{}).Diags {
+		t.Errorf("vet: %s", d)
+	}
+}

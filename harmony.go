@@ -56,6 +56,7 @@ import (
 	"harmony/internal/rsl"
 	"harmony/internal/server"
 	"harmony/internal/simclock"
+	"harmony/internal/vet"
 )
 
 // Core controller types.
@@ -143,6 +144,49 @@ type (
 	// ObjectiveFunc reduces per-job predictions to one value to minimize.
 	ObjectiveFunc = objective.Func
 )
+
+// Static-analysis types (package vet): validating RSL specs before they
+// reach the controller.
+type (
+	// VetReport is the result of analyzing one RSL script.
+	VetReport = vet.Report
+	// VetDiagnostic is one finding with check ID, severity and position.
+	VetDiagnostic = vet.Diagnostic
+	// VetOptions parameterizes an analysis run.
+	VetOptions = vet.Options
+	// VetCheckInfo documents one registered check.
+	VetCheckInfo = vet.CheckInfo
+	// VetSeverity classifies a diagnostic.
+	VetSeverity = vet.Severity
+	// VetMode selects how the server treats vet findings on registration.
+	VetMode = server.VetMode
+)
+
+// Vet severities and server vet modes.
+const (
+	// VetInfo is advisory.
+	VetInfo = vet.SevInfo
+	// VetWarning marks legal but suspicious constructs.
+	VetWarning = vet.SevWarn
+	// VetError marks specs that can never work as written.
+	VetError = vet.SevError
+
+	// VetModeWarn logs findings but accepts every bundle (the default).
+	VetModeWarn = server.VetWarn
+	// VetModeOff skips analysis.
+	VetModeOff = server.VetOff
+	// VetModeReject refuses bundles with error-severity findings.
+	VetModeReject = server.VetReject
+)
+
+// VetScript statically analyzes an RSL script.
+func VetScript(src string, opts VetOptions) *VetReport { return vet.Script(src, opts) }
+
+// VetChecks enumerates the registered static checks.
+func VetChecks() []VetCheckInfo { return vet.Checks() }
+
+// ParseVetMode parses a server vet mode name ("warn", "reject", "off").
+func ParseVetMode(s string) (VetMode, error) { return server.ParseVetMode(s) }
 
 // DefaultPort is the Harmony server's well-known TCP port.
 const DefaultPort = protocol.DefaultPort

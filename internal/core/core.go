@@ -470,6 +470,25 @@ func (c *Controller) Apps() []Snapshot {
 	return out
 }
 
+// ClusterNodes describes the managed cluster as harmonyNode declarations,
+// so spec analyses (package vet) can validate incoming bundles against the
+// capacities actually on offer.
+func (c *Controller) ClusterNodes() []*rsl.NodeDecl {
+	states := c.ledger.Nodes()
+	out := make([]*rsl.NodeDecl, 0, len(states))
+	for _, st := range states {
+		n := st.Node
+		out = append(out, &rsl.NodeDecl{
+			Hostname: n.Hostname,
+			Speed:    n.Speed,
+			MemoryMB: n.MemoryMB,
+			OS:       n.OS,
+			CPUs:     n.CPUs,
+		})
+	}
+	return out
+}
+
 // CurrentChoice reports an application's active configuration.
 func (c *Controller) CurrentChoice(instance int) (Choice, error) {
 	c.mu.Lock()

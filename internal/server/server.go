@@ -20,7 +20,48 @@ import (
 	"harmony/internal/namespace"
 	"harmony/internal/protocol"
 	"harmony/internal/rsl"
+	"harmony/internal/vet"
 )
+
+// VetMode selects how the server treats static-analysis findings on
+// incoming bundles (see package vet).
+type VetMode int
+
+const (
+	// VetWarn, the default, logs every diagnostic but accepts the bundle.
+	VetWarn VetMode = iota
+	// VetOff skips analysis entirely.
+	VetOff
+	// VetReject logs every diagnostic and refuses bundles carrying
+	// error-severity findings.
+	VetReject
+)
+
+// String implements fmt.Stringer.
+func (m VetMode) String() string {
+	switch m {
+	case VetWarn:
+		return "warn"
+	case VetOff:
+		return "off"
+	case VetReject:
+		return "reject"
+	}
+	return fmt.Sprintf("VetMode(%d)", int(m))
+}
+
+// ParseVetMode parses a -vet flag value.
+func ParseVetMode(s string) (VetMode, error) {
+	switch s {
+	case "warn":
+		return VetWarn, nil
+	case "off":
+		return VetOff, nil
+	case "reject":
+		return VetReject, nil
+	}
+	return 0, fmt.Errorf("server: unknown vet mode %q (want warn, reject or off)", s)
+}
 
 // Config parameterizes the server.
 type Config struct {
@@ -31,6 +72,10 @@ type Config struct {
 	// ManualFlush buffers variable updates until FlushPendingVars is
 	// called, instead of flushing after every controller event.
 	ManualFlush bool
+	// Vet selects how bundle_setup specs are statically analyzed: the
+	// default logs findings (against the cluster's declared capacities)
+	// without changing accept/reject behavior.
+	Vet VetMode
 	// Logf logs server events; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -351,6 +396,19 @@ func (c *conn) handle(msg *protocol.Message) *protocol.Message {
 }
 
 func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
+	if c.srv.cfg.Vet != VetOff {
+		rep := vet.Script(msg.RSL, vet.Options{
+			ExtraNodes: c.srv.cfg.Controller.ClusterNodes(),
+		})
+		for _, d := range rep.Diags {
+			c.srv.cfg.Logf("harmony: vet: %s", d)
+		}
+		if c.srv.cfg.Vet == VetReject {
+			if d, bad := rep.FirstError(); bad {
+				return errReply("bundle_setup: vet: %s", d)
+			}
+		}
+	}
 	bundles, _, err := rsl.DecodeScript(msg.RSL)
 	if err != nil {
 		return errReply("bundle_setup: %v", err)

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// warnRSL is legal and matchable but carries a warning-severity finding
+// (performance points listed out of order).
+const warnRSL = `
+harmonyBundle App:1 b {
+	{only
+		{node server * {memory 2}}
+		{performance {{4 90} {1 300}}}
+	}
+}`
+
+// brokenRSL carries an error-severity finding: "bogus" is bound in no
+// evaluation context.
+const brokenRSL = `
+harmonyBundle App:1 b {
+	{only
+		{node server * {memory bogus}}
+	}
+}`
+
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (lc *logCapture) logf(format string, args ...any) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	lc.lines = append(lc.lines, fmt.Sprintf(format, args...))
+}
+
+func (lc *logCapture) joined() string {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return strings.Join(lc.lines, "\n")
+}
+
+func TestVetWarnLogsAndAccepts(t *testing.T) {
+	var lc logCapture
+	srv, _ := startTestServer(t, Config{Logf: lc.logf})
+	c := dialTest(t, srv)
+	if err := c.Startup("App", true); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := c.BundleSetup(warnRSL); err != nil {
+		t.Fatalf("warn-severity finding rejected the bundle: %v", err)
+	}
+	if logged := lc.joined(); !strings.Contains(logged, "[perf-unsorted]") {
+		t.Errorf("vet finding not logged; log was:\n%s", logged)
+	}
+}
+
+func TestVetRejectRefusesErrors(t *testing.T) {
+	srv, _ := startTestServer(t, Config{Vet: VetReject})
+	c := dialTest(t, srv)
+	if err := c.Startup("App", true); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := c.BundleSetup(brokenRSL); err == nil {
+		t.Fatal("error-severity spec accepted under VetReject")
+	} else if !strings.Contains(err.Error(), "unbound-var") {
+		t.Errorf("rejection does not name the check: %v", err)
+	}
+	// Warnings alone do not reject.
+	if _, err := c.BundleSetup(warnRSL); err != nil {
+		t.Fatalf("warning-only spec rejected under VetReject: %v", err)
+	}
+}
+
+func TestVetOffSkipsAnalysis(t *testing.T) {
+	var lc logCapture
+	srv, _ := startTestServer(t, Config{Vet: VetOff, Logf: lc.logf})
+	c := dialTest(t, srv)
+	if err := c.Startup("App", true); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := c.BundleSetup(warnRSL); err != nil {
+		t.Fatalf("BundleSetup: %v", err)
+	}
+	if logged := lc.joined(); strings.Contains(logged, "vet:") {
+		t.Errorf("vet ran under VetOff; log was:\n%s", logged)
+	}
+}
+
+func TestParseVetMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want VetMode
+	}{
+		{"warn", VetWarn},
+		{"off", VetOff},
+		{"reject", VetReject},
+	} {
+		got, err := ParseVetMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseVetMode(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() != tc.in {
+			t.Errorf("VetMode(%v).String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseVetMode("nope"); err == nil {
+		t.Error("ParseVetMode accepted an unknown mode")
+	}
+}

@@ -1,0 +1,665 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"harmony/internal/cluster"
+	"harmony/internal/rsl"
+)
+
+// defaultSwitchBandwidthMbps mirrors the SP-2 switch assumed by the
+// cluster package when no capacity is given.
+const defaultSwitchBandwidthMbps = cluster.DefaultSwitchBandwidthMbps
+
+// maxBindings caps the variable-domain cross product the analyzer is
+// willing to enumerate; beyond it, domain-dependent checks are skipped.
+const maxBindings = 4096
+
+// analysis carries the per-script state shared by all checks.
+type analysis struct {
+	rep      *Report
+	opts     Options
+	decls    []*rsl.NodeDecl
+	switchBW float64
+}
+
+func (a *analysis) diag(check string, sev Severity, pos rsl.Pos, bundle, option, format string, args ...any) {
+	a.rep.add(Diagnostic{
+		Check:    check,
+		Severity: sev,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Bundle:   bundle,
+		Option:   option,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// checkDecls validates the harmonyNode declarations of the script itself
+// (ExtraNodes describe an existing cluster and are not re-validated).
+func (a *analysis) checkDecls(decls []*rsl.NodeDecl) {
+	seen := make(map[string]*rsl.NodeDecl, len(decls))
+	for _, d := range decls {
+		if prev, dup := seen[d.Hostname]; dup {
+			a.diag("dup-node-decl", SevError, d.Pos, "", "",
+				"hostname %q already declared at %s", d.Hostname, prev.Pos)
+		} else {
+			seen[d.Hostname] = d
+		}
+		if d.MemoryMB <= 0 {
+			a.diag("node-decl-capacity", SevWarn, d.Pos, "", "",
+				"node %q declares no memory; every memory-bearing request will fail to match on it", d.Hostname)
+		}
+	}
+}
+
+// optScope is the Section 3.2 namespace visible to one option's
+// expressions: its declared variables and its node local names.
+type optScope struct {
+	a      *analysis
+	bundle string
+	option string
+	// vars maps declared variable names to their admissible values.
+	vars map[string][]float64
+	// locals is the set of option-local node names.
+	locals map[string]bool
+	// localMins binds each granted-resource name (local.memory,
+	// local.seconds) to its minimal value, for best-case evaluation.
+	localMins rsl.MapEnv
+}
+
+func (a *analysis) checkBundle(b *rsl.BundleSpec) {
+	for i := range b.Options {
+		opt := &b.Options[i]
+		s := a.newScope(b, opt)
+		s.checkOption(opt)
+	}
+	a.checkDominated(b)
+}
+
+func (a *analysis) newScope(b *rsl.BundleSpec, opt *rsl.OptionSpec) *optScope {
+	s := &optScope{
+		a:         a,
+		bundle:    b.Name,
+		option:    opt.Name,
+		vars:      make(map[string][]float64, len(opt.Variables)),
+		locals:    make(map[string]bool, len(opt.Nodes)),
+		localMins: make(rsl.MapEnv, 2*len(opt.Nodes)),
+	}
+	for _, v := range opt.Variables {
+		s.vars[v.Name] = v.Values
+	}
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		s.locals[spec.LocalName] = true
+	}
+	// Bind granted-resource names to their best-case (minimal) values so
+	// link formulas like Figure 3's can be bounded from below.
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		mem, okM := s.minOfTag(spec, "memory")
+		if !okM {
+			mem = 0
+		}
+		sec, okS := s.minOfTag(spec, "seconds")
+		if !okS {
+			sec = 0
+		}
+		s.localMins[spec.LocalName+".memory"] = mem
+		s.localMins[spec.LocalName+".seconds"] = sec
+	}
+	return s
+}
+
+func (s *optScope) diag(check string, sev Severity, pos rsl.Pos, format string, args ...any) {
+	s.a.diag(check, sev, pos, s.bundle, s.option, format, args...)
+}
+
+func (s *optScope) checkOption(opt *rsl.OptionSpec) {
+	if len(opt.Nodes) == 0 {
+		s.diag("empty-option", SevWarn, opt.Pos,
+			"option requests no nodes; it never consumes or releases resources")
+	}
+
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		for _, tagName := range sortedTagNames(spec.Tags) {
+			tag := spec.Tags[tagName]
+			if tag.IsString {
+				continue
+			}
+			ctx := fmt.Sprintf("node %q tag %q", spec.LocalName, tagName)
+			s.checkExpr(tag.Expr, tag.Pos, ctx, false)
+			switch tagName {
+			case "seconds", "memory":
+				s.checkRange(tag.Expr, tag.Pos, ctx, 0, false)
+			}
+		}
+		if spec.Replicate != nil {
+			ctx := fmt.Sprintf("node %q replicate", spec.LocalName)
+			s.checkExpr(spec.Replicate, spec.ReplicatePos, ctx, false)
+			s.checkRange(spec.Replicate, spec.ReplicatePos, ctx, 1, false)
+		}
+	}
+
+	for i := range opt.Links {
+		ls := &opt.Links[i]
+		for _, end := range []string{ls.A, ls.B} {
+			if !s.locals[end] {
+				s.diag("link-endpoint", SevError, ls.Pos,
+					"link endpoint %q is not a node of this option (nodes: %s)",
+					end, strings.Join(s.localNames(), ", "))
+			}
+		}
+		ctx := fmt.Sprintf("link %s-%s bandwidth", ls.A, ls.B)
+		s.checkExpr(ls.Bandwidth, ls.Pos, ctx, true)
+		s.checkRange(ls.Bandwidth, ls.Pos, ctx, 0, true)
+		if ls.Latency != nil {
+			lctx := fmt.Sprintf("link %s-%s latency", ls.A, ls.B)
+			s.checkExpr(ls.Latency, ls.Pos, lctx, true)
+			s.checkRange(ls.Latency, ls.Pos, lctx, 0, true)
+		}
+	}
+
+	if opt.Communication != nil {
+		s.checkExpr(opt.Communication, opt.CommunicationPos, "communication", true)
+		s.checkRange(opt.Communication, opt.CommunicationPos, "communication", 0, true)
+	}
+	if opt.Granularity != nil {
+		s.checkExpr(opt.Granularity, opt.GranularityPos, "granularity", false)
+		s.checkRange(opt.Granularity, opt.GranularityPos, "granularity", 0, false)
+	}
+	if opt.Friction != nil {
+		s.checkExpr(opt.Friction, opt.FrictionPos, "friction", true)
+		s.checkRange(opt.Friction, opt.FrictionPos, "friction", 0, true)
+	}
+
+	s.checkPerformance(opt)
+	s.checkCapacity(opt)
+}
+
+func (s *optScope) localNames() []string {
+	names := make([]string, 0, len(s.locals))
+	for n := range s.locals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedTagNames(tags map[string]rsl.TagValue) []string {
+	names := make([]string, 0, len(tags))
+	for n := range tags {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// checkExpr reports unbound names, constant ternaries and zero divisors in
+// one expression. allowLocals states whether granted-resource names
+// (local.memory, local.seconds) are visible, which holds for link,
+// communication and friction expressions but not for node tags or
+// granularity (the matcher evaluates those under the variable env alone).
+func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bool) {
+	if e == nil {
+		return
+	}
+	seen := make(map[string]bool)
+	for _, name := range e.Vars(nil) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, ok := s.vars[name]; ok {
+			continue
+		}
+		if allowLocals && s.isGrantedName(name) {
+			continue
+		}
+		if !allowLocals && s.isGrantedName(name) {
+			s.diag("unbound-var", SevError, pos,
+				"%s: granted-resource name %q is only visible in link, communication and friction expressions", ctx, name)
+			continue
+		}
+		if local, _, found := strings.Cut(name, "."); found && s.locals[local] {
+			s.diag("unbound-var", SevError, pos,
+				"%s: unbound name %q (only %s.memory and %s.seconds are granted)", ctx, name, local, local)
+			continue
+		}
+		hint := ""
+		if len(s.vars) > 0 {
+			hint = " (declared variables: " + strings.Join(s.varNames(), ", ") + ")"
+		}
+		s.diag("unbound-var", SevError, pos, "%s: expression references unbound name %q%s", ctx, name, hint)
+	}
+
+	walkExpr(e, func(x rsl.Expr) {
+		switch n := x.(type) {
+		case *rsl.CondExpr:
+			if v, ok := constVal(n.Cond); ok {
+				branch := "else"
+				if v != 0 {
+					branch = "then"
+				}
+				s.diag("const-ternary", SevWarn, pos,
+					"%s: ternary condition %s is constant; the %s branch always wins", ctx, n.Cond, branch)
+			}
+		case *rsl.BinaryExpr:
+			if n.Op != "/" && n.Op != "%" {
+				return
+			}
+			if v, ok := constVal(n.R); ok {
+				if v == 0 {
+					s.diag("div-zero", SevError, pos,
+						"%s: divisor of %q is the constant zero", ctx, n.String())
+				}
+				return
+			}
+			base := rsl.MapEnv(nil)
+			if allowLocals {
+				base = s.localMins
+			}
+			names, analyzable := s.scopeVarsOf(n.R, base)
+			if !analyzable {
+				return
+			}
+			s.forEach(names, base, func(env rsl.MapEnv) bool {
+				v, err := n.R.Eval(env)
+				if err == nil && v == 0 {
+					s.diag("div-zero", SevWarn, pos,
+						"%s: divisor of %q may be zero (e.g. %s)", ctx, n.String(), describeBinding(env, names))
+					return false
+				}
+				return true
+			})
+		}
+	})
+}
+
+// checkRange verifies a quantity that must be at least minAllowed:
+// an error when the expression is constant and out of range, a warning
+// when some admissible variable binding puts it out of range.
+func (s *optScope) checkRange(e rsl.Expr, pos rsl.Pos, ctx string, minAllowed float64, allowLocals bool) {
+	if e == nil {
+		return
+	}
+	if v, ok := constVal(e); ok {
+		if v < minAllowed {
+			s.diag("negative-tag", SevError, pos,
+				"%s is %g; it must be at least %g", ctx, v, minAllowed)
+		}
+		return
+	}
+	base := rsl.MapEnv(nil)
+	if allowLocals {
+		base = s.localMins
+	}
+	names, analyzable := s.scopeVarsOf(e, base)
+	if !analyzable {
+		return
+	}
+	s.forEach(names, base, func(env rsl.MapEnv) bool {
+		v, err := e.Eval(env)
+		if err == nil && v < minAllowed {
+			s.diag("negative-tag", SevWarn, pos,
+				"%s evaluates to %g when %s; it must be at least %g", ctx, v, describeBinding(env, names), minAllowed)
+			return false
+		}
+		return true
+	})
+}
+
+func (s *optScope) checkPerformance(opt *rsl.OptionSpec) {
+	if len(opt.Performance) == 0 {
+		return
+	}
+	if opt.PerformanceUnsorted {
+		s.diag("perf-unsorted", SevWarn, opt.PerformancePos,
+			"performance points were listed out of ascending node order; the decoder sorts them, but the source order looks like a typo")
+	}
+	for _, pt := range opt.Performance {
+		if pt.X < 1 {
+			s.diag("perf-point", SevError, opt.PerformancePos,
+				"performance point {%g %g}: node count %g is below 1", pt.X, pt.Y, pt.X)
+		}
+		if pt.Y < 0 {
+			s.diag("perf-point", SevError, opt.PerformancePos,
+				"performance point {%g %g}: expected time %g is negative", pt.X, pt.Y, pt.Y)
+		}
+	}
+}
+
+// checkCapacity verifies the option against declared harmonyNode
+// capacities: Section 4.1 matching can never succeed when no declared node
+// meets a request even in the best case. Skipped when no declarations are
+// in scope.
+func (s *optScope) checkCapacity(opt *rsl.OptionSpec) {
+	decls := s.a.decls
+	if len(decls) == 0 {
+		return
+	}
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		memMin, memOK := s.minOfTag(spec, "memory")
+		var osWant, hostWant string
+		if tag, ok := spec.Tags["os"]; ok && tag.IsString {
+			osWant = tag.Str
+		}
+		if tag, ok := spec.Tags["hostname"]; ok && tag.IsString {
+			hostWant = tag.Str
+		}
+		eligible := 0
+		for _, d := range decls {
+			if spec.HostPattern != "*" && d.Hostname != spec.HostPattern {
+				continue
+			}
+			if hostWant != "" && d.Hostname != hostWant {
+				continue
+			}
+			if osWant != "" && d.OS != osWant {
+				continue
+			}
+			if memOK && d.MemoryMB < memMin {
+				continue
+			}
+			eligible++
+		}
+		if eligible == 0 {
+			s.diag("node-unsatisfiable", SevError, spec.Pos,
+				"no declared harmonyNode satisfies node %q (%s; %d node(s) declared)",
+				spec.LocalName, s.describeDemand(spec, memMin, memOK, osWant, hostWant), len(decls))
+			continue
+		}
+		if spec.Replicate != nil && spec.HostPattern == "*" {
+			repMin, repOK := s.evalMin(spec.Replicate, nil)
+			if repOK && repMin > float64(eligible) {
+				s.diag("replicate-unsatisfiable", SevError, spec.ReplicatePos,
+					"node %q needs at least %g distinct hosts, but only %d declared node(s) qualify",
+					spec.LocalName, repMin, eligible)
+			}
+		}
+	}
+
+	for i := range opt.Links {
+		ls := &opt.Links[i]
+		if bwMin, ok := s.evalMin(ls.Bandwidth, s.localMins); ok && bwMin > s.a.switchBW {
+			s.diag("link-bandwidth", SevWarn, ls.Pos,
+				"link %s-%s needs at least %g Mbps; the interconnect provides %g Mbps",
+				ls.A, ls.B, bwMin, s.a.switchBW)
+		}
+	}
+	if opt.Communication != nil {
+		if commMin, ok := s.evalMin(opt.Communication, s.localMins); ok && commMin > s.a.switchBW {
+			s.diag("link-bandwidth", SevWarn, opt.CommunicationPos,
+				"communication needs at least %g Mbps; the interconnect provides %g Mbps",
+				commMin, s.a.switchBW)
+		}
+	}
+}
+
+func (s *optScope) describeDemand(spec *rsl.NodeSpec, memMin float64, memOK bool, osWant, hostWant string) string {
+	var parts []string
+	if spec.HostPattern != "*" {
+		parts = append(parts, "host "+spec.HostPattern)
+	}
+	if hostWant != "" {
+		parts = append(parts, "hostname "+hostWant)
+	}
+	if osWant != "" {
+		parts = append(parts, "os "+osWant)
+	}
+	if memOK {
+		parts = append(parts, fmt.Sprintf("memory >= %g MB", memMin))
+	}
+	if len(parts) == 0 {
+		return "no constraints"
+	}
+	return strings.Join(parts, ", ")
+}
+
+// checkDominated flags options whose requirements are identical to an
+// earlier sibling's but whose performance model is never better: the
+// controller evaluates options in lexical order and keeps the best
+// prediction, so such an option can never be chosen.
+func (a *analysis) checkDominated(b *rsl.BundleSpec) {
+	sigs := make([]string, len(b.Options))
+	for i := range b.Options {
+		sigs[i] = requirementSignature(&b.Options[i])
+	}
+	for j := 1; j < len(b.Options); j++ {
+		for i := 0; i < j; i++ {
+			if sigs[i] != sigs[j] {
+				continue
+			}
+			oi, oj := &b.Options[i], &b.Options[j]
+			switch {
+			case len(oi.Performance) == 0 && len(oj.Performance) == 0:
+				a.diag("dominated-option", SevWarn, oj.Pos, b.Name, oj.Name,
+					"requirements are identical to option %q and neither has a performance model; this option can never be chosen", oi.Name)
+			case modelDominates(oi.Performance, oj.Performance):
+				a.diag("dominated-option", SevWarn, oj.Pos, b.Name, oj.Name,
+					"requirements are identical to option %q and its model is never faster; this option can never be chosen", oi.Name)
+			case modelDominates(oj.Performance, oi.Performance):
+				a.diag("dominated-option", SevWarn, oi.Pos, b.Name, oi.Name,
+					"requirements are identical to option %q and its model is never faster; this option can never be chosen", oj.Name)
+			}
+		}
+	}
+}
+
+// modelDominates reports whether model a is at least as fast as model b at
+// every shared point (both models must cover the same node counts).
+func modelDominates(a, b []rsl.PerfPoint) bool {
+	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].X != b[i].X || a[i].Y > b[i].Y {
+			return false
+		}
+	}
+	return true
+}
+
+// requirementSignature canonically renders everything about an option
+// except its name and performance model.
+func requirementSignature(opt *rsl.OptionSpec) string {
+	var sb strings.Builder
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		fmt.Fprintf(&sb, "node|%s|%s", spec.LocalName, spec.HostPattern)
+		for _, name := range sortedTagNames(spec.Tags) {
+			tag := spec.Tags[name]
+			if tag.IsString {
+				fmt.Fprintf(&sb, "|%s=%s", name, tag.Str)
+			} else {
+				fmt.Fprintf(&sb, "|%s=%s%s", name, tag.Op, tag.Expr)
+			}
+		}
+		if spec.Replicate != nil {
+			fmt.Fprintf(&sb, "|replicate=%s", spec.Replicate)
+		}
+		sb.WriteByte('\n')
+	}
+	for i := range opt.Links {
+		ls := &opt.Links[i]
+		fmt.Fprintf(&sb, "link|%s|%s|%s", ls.A, ls.B, ls.Bandwidth)
+		if ls.Latency != nil {
+			fmt.Fprintf(&sb, "|%s", ls.Latency)
+		}
+		sb.WriteByte('\n')
+	}
+	if opt.Communication != nil {
+		fmt.Fprintf(&sb, "comm|%s\n", opt.Communication)
+	}
+	if opt.Granularity != nil {
+		fmt.Fprintf(&sb, "gran|%s\n", opt.Granularity)
+	}
+	if opt.Friction != nil {
+		fmt.Fprintf(&sb, "frict|%s\n", opt.Friction)
+	}
+	for _, v := range opt.Variables {
+		fmt.Fprintf(&sb, "var|%s|%v\n", v.Name, v.Values)
+	}
+	return sb.String()
+}
+
+// --- expression utilities ---
+
+// walkExpr visits every node of an expression tree.
+func walkExpr(e rsl.Expr, fn func(rsl.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *rsl.UnaryExpr:
+		walkExpr(n.X, fn)
+	case *rsl.BinaryExpr:
+		walkExpr(n.L, fn)
+		walkExpr(n.R, fn)
+	case *rsl.CondExpr:
+		walkExpr(n.Cond, fn)
+		walkExpr(n.Then, fn)
+		walkExpr(n.Else, fn)
+	case *rsl.CallExpr:
+		for _, a := range n.Args {
+			walkExpr(a, fn)
+		}
+	}
+}
+
+// constVal folds an expression with no free variables to its value.
+func constVal(e rsl.Expr) (float64, bool) {
+	if e == nil || len(e.Vars(nil)) > 0 {
+		return 0, false
+	}
+	v, err := e.Eval(nil)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// varNames lists the scope's declared variables, sorted.
+func (s *optScope) varNames() []string {
+	names := make([]string, 0, len(s.vars))
+	for n := range s.vars {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// isGrantedName reports whether name is a granted-resource binding
+// (local.memory or local.seconds for a node of this option).
+func (s *optScope) isGrantedName(name string) bool {
+	local, field, found := strings.Cut(name, ".")
+	if !found || !s.locals[local] {
+		return false
+	}
+	return field == "memory" || field == "seconds"
+}
+
+// scopeVarsOf lists the free variables of e that range over declared
+// domains. analyzable is false when e references a name neither in scope
+// nor bound by base (the unbound-var check reports those separately).
+func (s *optScope) scopeVarsOf(e rsl.Expr, base rsl.MapEnv) (names []string, analyzable bool) {
+	seen := make(map[string]bool)
+	for _, name := range e.Vars(nil) {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if _, ok := s.vars[name]; ok {
+			names = append(names, name)
+			continue
+		}
+		if _, ok := base[name]; ok {
+			continue
+		}
+		return nil, false
+	}
+	sort.Strings(names)
+	return names, true
+}
+
+// forEach enumerates every admissible binding of the named variables over
+// their domains (on top of base), calling fn until it returns false.
+// Returns false when the cross product exceeds maxBindings.
+func (s *optScope) forEach(names []string, base rsl.MapEnv, fn func(env rsl.MapEnv) bool) bool {
+	total := 1
+	for _, n := range names {
+		total *= len(s.vars[n])
+		if total > maxBindings {
+			return false
+		}
+	}
+	env := make(rsl.MapEnv, len(base)+len(names))
+	for k, v := range base {
+		env[k] = v
+	}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(names) {
+			return fn(env)
+		}
+		for _, v := range s.vars[names[i]] {
+			env[names[i]] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+	return true
+}
+
+// evalMin returns the minimum of e over every admissible variable binding
+// (locals bound by base). ok is false when nothing evaluates.
+func (s *optScope) evalMin(e rsl.Expr, base rsl.MapEnv) (float64, bool) {
+	if e == nil {
+		return 0, false
+	}
+	names, analyzable := s.scopeVarsOf(e, base)
+	if !analyzable {
+		return 0, false
+	}
+	minV, found := 0.0, false
+	complete := s.forEach(names, base, func(env rsl.MapEnv) bool {
+		v, err := e.Eval(env)
+		if err == nil && (!found || v < minV) {
+			minV, found = v, true
+		}
+		return true
+	})
+	if !complete {
+		return 0, false
+	}
+	return minV, found
+}
+
+// minOfTag evaluates the best-case (minimal) value of a numeric node tag.
+func (s *optScope) minOfTag(spec *rsl.NodeSpec, tagName string) (float64, bool) {
+	tag, ok := spec.Tags[tagName]
+	if !ok || tag.IsString || tag.Expr == nil {
+		return 0, false
+	}
+	return s.evalMin(tag.Expr, nil)
+}
+
+// describeBinding renders the named variables of env, e.g. "workerNodes=0".
+func describeBinding(env rsl.MapEnv, names []string) string {
+	if len(names) == 0 {
+		return "always"
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=%g", n, env[n])
+	}
+	return strings.Join(parts, ", ")
+}

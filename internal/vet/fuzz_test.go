@@ -1,0 +1,63 @@
+package vet
+
+import "testing"
+
+// FuzzVet proves the parse→decode→analyze pipeline never panics: arbitrary
+// input yields a report whose diagnostics all render and carry registered
+// check IDs.
+func FuzzVet(f *testing.F) {
+	seeds := []string{
+		`harmonyBundle Simple:1 config {
+    {only
+        {node worker * {seconds 300} {memory 32} {replicate 4}}
+        {communication 10}
+    }
+}
+`,
+		`harmonyBundle Bag:1 parallelism {
+    {workers
+        {variable workerNodes {1 2 4 8}}
+        {node worker * {seconds {300 / workerNodes}} {memory 32}
+              {replicate workerNodes} {exclusive 1}}
+        {communication {0.5 * workerNodes ^ 2}}
+        {performance {{1 300} {2 160} {4 90} {8 70}}}
+        {granularity 10}
+    }
+}
+`,
+		`harmonyBundle DBclient:1 where {
+    {QS
+        {node server harmony.cs.umd.edu {seconds 42} {memory 20}}
+        {node client * {os linux} {seconds 1} {memory 2}}
+        {link client server 2}
+    }
+    {DS
+        {node server harmony.cs.umd.edu {seconds 1} {memory 20}}
+        {node client * {os linux} {memory >=17} {seconds 9}}
+        {link client server {44 + (client.memory > 24 ? 24 : client.memory) - 17}}
+    }
+}
+`,
+		`harmonyNode fast.cs.umd.edu {speed 2.5} {memory 256} {os linux} {cpus 2}
+harmonyNode slow.cs.umd.edu {speed 0.8} {memory 64}  {os linux}
+`,
+		"harmonyBundle a:1 b {\n\t{o {node n * {memory x}} {granularity {1/0}}}\n}\n",
+		"{", "harmonyFoo", "",
+	}
+	for _, seed := range seeds {
+		f.Add(seed)
+	}
+	registered := make(map[string]bool)
+	for _, c := range Checks() {
+		registered[c.ID] = true
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		rep := Script(src, Options{})
+		for _, d := range rep.Diags {
+			if !registered[d.Check] {
+				t.Fatalf("unregistered check ID %q", d.Check)
+			}
+			_ = d.String()
+		}
+	})
+}

@@ -1,0 +1,291 @@
+// Package vet statically analyzes Harmony RSL specifications before they
+// reach the controller. The paper's premise is that applications export
+// their tuning alternatives as RSL bundles (Figures 2-3, Table 1), which
+// makes the controller's decisions only as good as the specs it is fed: an
+// expression referencing an unbound namespace variable, a memory demand no
+// declared harmonyNode can satisfy, or an out-of-order performance table is
+// otherwise only discovered deep inside matching (Section 4.1) or
+// prediction (Section 4.2) — or never. This package rejects such specs at
+// the front door.
+//
+// The analyzer runs a registry of checks over a parsed and decoded script
+// and reports diagnostics with a stable check ID, a severity, and a
+// line:col source position. Error-severity findings mean the spec can never
+// behave as written (matching or evaluation is guaranteed to fail);
+// warnings flag constructs that are legal but almost certainly mistakes.
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"harmony/internal/rsl"
+)
+
+// Severity classifies a diagnostic.
+type Severity int
+
+const (
+	// SevInfo is advisory.
+	SevInfo Severity = iota + 1
+	// SevWarn marks legal but suspicious constructs.
+	SevWarn
+	// SevError marks specs that can never work as written.
+	SevError
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarn:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return "unknown"
+}
+
+// MarshalText renders the severity for JSON output.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a severity name.
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarn
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("vet: unknown severity %q", b)
+	}
+	return nil
+}
+
+// Diagnostic is one finding: a check ID, severity, message and source
+// position, plus the bundle/option context when applicable.
+type Diagnostic struct {
+	// Check is the stable check identifier (e.g. "unbound-var").
+	Check string `json:"check"`
+	// Severity classifies the finding.
+	Severity Severity `json:"severity"`
+	// Line and Col locate the finding in the source (1-based; Col may be 0
+	// when only the line is known).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Bundle and Option name the enclosing spec scope, when applicable.
+	Bundle string `json:"bundle,omitempty"`
+	Option string `json:"option,omitempty"`
+	// Message describes the finding.
+	Message string `json:"message"`
+}
+
+// Pos returns the diagnostic's source position.
+func (d Diagnostic) Pos() rsl.Pos { return rsl.Pos{Line: d.Line, Col: d.Col} }
+
+// String renders the diagnostic in the canonical single-line form
+//
+//	3:14: error: [unbound-var] where/DS: expression references unbound name "x"
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	sb.WriteString(d.Pos().String())
+	sb.WriteString(": ")
+	sb.WriteString(d.Severity.String())
+	sb.WriteString(": [")
+	sb.WriteString(d.Check)
+	sb.WriteString("] ")
+	switch {
+	case d.Bundle != "" && d.Option != "":
+		sb.WriteString(d.Bundle + "/" + d.Option + ": ")
+	case d.Bundle != "":
+		sb.WriteString(d.Bundle + ": ")
+	}
+	sb.WriteString(d.Message)
+	return sb.String()
+}
+
+// Report is the result of analyzing one script.
+type Report struct {
+	// File is the source filename, when known (set by callers).
+	File string `json:"file,omitempty"`
+	// Diags holds the findings ordered by source position.
+	Diags []Diagnostic `json:"diagnostics"`
+}
+
+// HasErrors reports whether any diagnostic is error-severity.
+func (r *Report) HasErrors() bool { return r.Count(SevError) > 0 }
+
+// Count reports how many diagnostics carry the given severity.
+func (r *Report) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstError returns the first error-severity diagnostic, if any.
+func (r *Report) FirstError() (Diagnostic, bool) {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return d, true
+		}
+	}
+	return Diagnostic{}, false
+}
+
+// Sort orders diagnostics by position, then check ID.
+func (r *Report) Sort() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+func (r *Report) add(d Diagnostic) { r.Diags = append(r.Diags, d) }
+
+// Options parameterizes an analysis run.
+type Options struct {
+	// ExtraNodes supplies harmonyNode declarations from outside the script
+	// (e.g. the server's managed cluster), enabling the capacity checks even
+	// for bundle-only scripts.
+	ExtraNodes []*rsl.NodeDecl
+	// SwitchBandwidthMbps is the interconnect capacity assumed by the
+	// link-bandwidth check; 0 means the SP-2 default (320 Mbps, the paper's
+	// Section 6 testbed switch).
+	SwitchBandwidthMbps float64
+	// Disable names check IDs to skip.
+	Disable map[string]bool
+}
+
+// CheckInfo describes one registered check for documentation and tooling.
+type CheckInfo struct {
+	// ID is the stable identifier reported in diagnostics.
+	ID string
+	// Severity is the check's usual severity (some checks downgrade to a
+	// warning when the finding depends on variable instantiation).
+	Severity Severity
+	// Doc is a one-line description.
+	Doc string
+}
+
+// Checks enumerates every registered check.
+func Checks() []CheckInfo {
+	out := make([]CheckInfo, len(checkRegistry))
+	copy(out, checkRegistry)
+	return out
+}
+
+var checkRegistry = []CheckInfo{
+	{"parse", SevError, "the script has a syntax error (unterminated brace, stray '}')"},
+	{"decode", SevError, "a command violates the RSL grammar of Table 1 (unknown tag, malformed pair, duplicate option)"},
+	{"unbound-var", SevError, "an expression references a name resolvable in no evaluation context: not a declared variable, and not a granted-resource name (local.memory, local.seconds) where those are visible"},
+	{"link-endpoint", SevError, "a link names an endpoint that is not a declared node of the option"},
+	{"node-unsatisfiable", SevError, "no declared harmonyNode can satisfy a node request's hostname, os and memory demands (Section 4.1 matching can never succeed)"},
+	{"replicate-unsatisfiable", SevError, "a wildcard node's replica count exceeds the number of distinct eligible hosts"},
+	{"link-bandwidth", SevWarn, "a link or communication demand exceeds the interconnect capacity even in the best case"},
+	{"perf-point", SevError, "a performance point has a node count below one or a negative time (piecewise-linear interpolation misbehaves)"},
+	{"perf-unsorted", SevWarn, "performance points were listed out of ascending node order (the decoder sorts them; the order given is likely a typo)"},
+	{"dominated-option", SevWarn, "an option has requirements identical to a sibling but a performance model that is never better — it can never be chosen"},
+	{"empty-option", SevWarn, "an option requests no nodes, so it never consumes or releases resources"},
+	{"const-ternary", SevWarn, "a ternary conditional's condition is constant, so one branch is dead"},
+	{"div-zero", SevError, "a division or modulo whose divisor is the constant zero (or, as a warning, may be zero for some variable value)"},
+	{"negative-tag", SevError, "a quantity that must be non-negative (seconds, memory, communication, granularity, friction, bandwidth) or at least one (replicate) is constant and out of range (or, as a warning, is out of range for some variable value)"},
+	{"dup-node-decl", SevError, "the same hostname is declared by more than one harmonyNode"},
+	{"node-decl-capacity", SevWarn, "a harmonyNode declares no memory, so every memory-bearing request will fail to match on it"},
+}
+
+// Script parses, decodes and analyzes an RSL script, returning every
+// finding. Unlike rsl.DecodeScript it keeps going after a bad command, so
+// one malformed bundle does not hide findings in the rest of the script.
+func Script(src string, opts Options) *Report {
+	rep := &Report{}
+	cmds, err := rsl.ParseScript(src)
+	if err != nil {
+		rep.add(diagFromErr("parse", err))
+		return rep
+	}
+	var bundles []*rsl.BundleSpec
+	var decls []*rsl.NodeDecl
+	for _, cmd := range cmds {
+		if len(cmd) == 0 {
+			continue
+		}
+		if cmd[0].IsList {
+			rep.add(Diagnostic{Check: "decode", Severity: SevError,
+				Line: cmd[0].Line, Col: cmd[0].Col,
+				Message: "command must start with a word"})
+			continue
+		}
+		switch cmd[0].Word {
+		case "harmonyBundle":
+			b, err := rsl.DecodeBundleCommand(cmd)
+			if err != nil {
+				rep.add(diagFromErr("decode", err))
+				continue
+			}
+			bundles = append(bundles, b)
+		case "harmonyNode":
+			d, err := rsl.DecodeNodeCommand(cmd)
+			if err != nil {
+				rep.add(diagFromErr("decode", err))
+				continue
+			}
+			decls = append(decls, d)
+		default:
+			rep.add(Diagnostic{Check: "decode", Severity: SevError,
+				Line: cmd[0].Line, Col: cmd[0].Col,
+				Message: fmt.Sprintf("unknown command %q", cmd[0].Word)})
+		}
+	}
+
+	a := &analysis{
+		rep:      rep,
+		opts:     opts,
+		decls:    append(append([]*rsl.NodeDecl(nil), decls...), opts.ExtraNodes...),
+		switchBW: opts.SwitchBandwidthMbps,
+	}
+	if a.switchBW <= 0 {
+		a.switchBW = defaultSwitchBandwidthMbps
+	}
+	a.checkDecls(decls)
+	for _, b := range bundles {
+		a.checkBundle(b)
+	}
+	rep.Sort()
+	if opts.Disable != nil {
+		kept := rep.Diags[:0]
+		for _, d := range rep.Diags {
+			if !opts.Disable[d.Check] {
+				kept = append(kept, d)
+			}
+		}
+		rep.Diags = kept
+	}
+	return rep
+}
+
+// diagFromErr converts an rsl parse/decode error into a positioned
+// diagnostic.
+func diagFromErr(check string, err error) Diagnostic {
+	d := Diagnostic{Check: check, Severity: SevError, Message: err.Error()}
+	switch e := err.(type) {
+	case *rsl.ParseError:
+		d.Line, d.Col, d.Message = e.Line, e.Col, e.Msg
+	case *rsl.DecodeError:
+		d.Line, d.Col, d.Message = e.Line, e.Col, e.Msg
+	}
+	return d
+}

@@ -1,0 +1,227 @@
+package vet
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"harmony/internal/rsl"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// wantChecks lists, per testdata spec, check IDs that must appear in its
+// report. Golden files pin the exact output; this table documents intent.
+var wantChecks = map[string][]string{
+	"unbound.rsl":   {"unbound-var"},
+	"endpoint.rsl":  {"link-endpoint"},
+	"badmem.rsl":    {"node-unsatisfiable"},
+	"replicate.rsl": {"replicate-unsatisfiable"},
+	"perf.rsl":      {"perf-unsorted", "perf-point"},
+	"deadopt.rsl":   {"dominated-option", "empty-option"},
+	"expr.rsl":      {"const-ternary", "div-zero"},
+	"negative.rsl":  {"negative-tag"},
+	"syntax.rsl":    {"parse"},
+	"decode.rsl":    {"decode"},
+	"dupnode.rsl":   {"dup-node-decl", "node-decl-capacity"},
+	"bandwidth.rsl": {"link-bandwidth"},
+	"clean.rsl":     {},
+}
+
+func TestGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "*.rsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 9 {
+		t.Fatalf("testdata corpus has %d specs, want at least 9", len(files))
+	}
+	registered := make(map[string]bool)
+	for _, c := range Checks() {
+		registered[c.ID] = true
+	}
+	covered := make(map[string]bool)
+	for _, file := range files {
+		base := filepath.Base(file)
+		t.Run(strings.TrimSuffix(base, ".rsl"), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Script(string(src), Options{})
+
+			want, ok := wantChecks[base]
+			if !ok {
+				t.Errorf("spec %s has no wantChecks entry", base)
+			}
+			got := make(map[string]bool)
+			for _, d := range rep.Diags {
+				got[d.Check] = true
+				covered[d.Check] = true
+				if !registered[d.Check] {
+					t.Errorf("diagnostic uses unregistered check %q", d.Check)
+				}
+				if d.Line <= 0 {
+					t.Errorf("diagnostic %s has no line position", d)
+				}
+			}
+			for _, id := range want {
+				if !got[id] {
+					t.Errorf("expected a %q diagnostic, got %v", id, rep.Diags)
+				}
+			}
+			if len(want) == 0 && len(rep.Diags) > 0 {
+				t.Errorf("expected a clean report, got %v", rep.Diags)
+			}
+
+			var sb strings.Builder
+			for _, d := range rep.Diags {
+				sb.WriteString(d.String())
+				sb.WriteByte('\n')
+			}
+			golden := strings.TrimSuffix(file, ".rsl") + ".golden"
+			if *update {
+				if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			wantOut, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test -run Golden -update): %v", err)
+			}
+			if sb.String() != string(wantOut) {
+				t.Errorf("report mismatch for %s\n--- got ---\n%s--- want ---\n%s", base, sb.String(), wantOut)
+			}
+		})
+	}
+	if *update {
+		return
+	}
+	// The corpus should exercise every registered check.
+	for id := range registered {
+		if !covered[id] {
+			t.Errorf("check %q is exercised by no testdata spec", id)
+		}
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Check: "unbound-var", Severity: SevError, Line: 3, Col: 14,
+		Bundle: "where", Option: "DS", Message: "boom",
+	}
+	want := `3:14: error: [unbound-var] where/DS: boom`
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSeverityTextRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{SevInfo, SevWarn, SevError} {
+		b, err := sev.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := back.UnmarshalText(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != sev {
+			t.Errorf("round trip %v -> %s -> %v", sev, b, back)
+		}
+	}
+	var s Severity
+	if err := s.UnmarshalText([]byte("nope")); err == nil {
+		t.Error("UnmarshalText accepted an unknown severity")
+	}
+}
+
+func TestReportJSON(t *testing.T) {
+	rep := Script("harmonyBundle a:1 b {\n\t{o\n\t\t{node n * {memory x}}\n\t}\n}\n", Options{})
+	if !rep.HasErrors() {
+		t.Fatalf("expected an error report, got %v", rep.Diags)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"severity":"error"`) {
+		t.Errorf("JSON %s does not spell out the severity", b)
+	}
+}
+
+func TestDisable(t *testing.T) {
+	src := "harmonyNode h {speed 1}\n"
+	if rep := Script(src, Options{}); rep.Count(SevWarn) == 0 {
+		t.Fatal("expected a node-decl-capacity warning")
+	}
+	rep := Script(src, Options{Disable: map[string]bool{"node-decl-capacity": true}})
+	if len(rep.Diags) != 0 {
+		t.Errorf("disabled check still reported: %v", rep.Diags)
+	}
+}
+
+// TestExtraNodes verifies the capacity checks run against an externally
+// supplied cluster when the script declares no nodes itself (the server's
+// registration hook).
+func TestExtraNodes(t *testing.T) {
+	src := "harmonyBundle a:1 b {\n\t{o {node n * {memory >=512}}}\n}\n"
+	if rep := Script(src, Options{}); rep.HasErrors() {
+		t.Fatalf("no declarations in scope, got %v", rep.Diags)
+	}
+	rep := Script(src, Options{ExtraNodes: []*rsl.NodeDecl{{Hostname: "h1", MemoryMB: 64}}})
+	d, ok := rep.FirstError()
+	if !ok || d.Check != "node-unsatisfiable" {
+		t.Fatalf("want node-unsatisfiable, got %v", rep.Diags)
+	}
+}
+
+func TestSwitchBandwidthOption(t *testing.T) {
+	src := "harmonyBundle a:1 b {\n\t{o\n\t\t{node x * {memory 1}}\n\t\t{node y * {memory 1}}\n\t\t{link x y 200}\n\t}\n}\n"
+	nodes := []*rsl.NodeDecl{{Hostname: "h1", MemoryMB: 64}, {Hostname: "h2", MemoryMB: 64}}
+	if rep := Script(src, Options{ExtraNodes: nodes}); len(rep.Diags) != 0 {
+		t.Fatalf("200 Mbps fits the default switch, got %v", rep.Diags)
+	}
+	rep := Script(src, Options{ExtraNodes: nodes, SwitchBandwidthMbps: 100})
+	found := false
+	for _, d := range rep.Diags {
+		if d.Check == "link-bandwidth" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("want link-bandwidth against a 100 Mbps switch, got %v", rep.Diags)
+	}
+}
+
+// TestChecksDocumented keeps the "Static checks" section of docs/RSL.md
+// in sync with the registry: every check ID must appear there.
+func TestChecksDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "RSL.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Checks() {
+		if !strings.Contains(string(doc), "`"+c.ID+"`") {
+			t.Errorf("check %q is not documented in docs/RSL.md", c.ID)
+		}
+	}
+}
+
+// TestRegistryDistinct guards against copy-paste check IDs.
+func TestRegistryDistinct(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, c := range Checks() {
+		if seen[c.ID] {
+			t.Errorf("check ID %q registered twice", c.ID)
+		}
+		seen[c.ID] = true
+		if c.Doc == "" {
+			t.Errorf("check %q has no doc line", c.ID)
+		}
+	}
+}

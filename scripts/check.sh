@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-2 gate: formatting, static analysis and the race detector.
+# Tier-1 (go build ./... && go test ./...) is implied by the race run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "check.sh: all clean"
