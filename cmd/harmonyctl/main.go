@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	harmonyctl [-addr host:9989] status      # list applications + objective
-//	harmonyctl [-addr host:9989] reevaluate  # force an optimizer pass
-//	harmonyctl vet [-json] <file.rsl>...     # static-analyze specs (offline)
+//	harmonyctl [-addr host:9989] status            # list applications + objective
+//	harmonyctl [-addr host:9989] reevaluate        # force an optimizer pass
+//	harmonyctl vet [-json|-sarif] <file.rsl>...    # static-analyze specs (offline)
+//	harmonyctl lint [-json|-sarif] -cluster <cluster.rsl> <file.rsl>...
 //
-// vet exits non-zero when any file carries an error-severity diagnostic.
+// vet analyzes each spec on its own; lint additionally judges the specs
+// jointly against the cluster's declared capacity (can this workload ever
+// fit?). Passing "-" as a file reads RSL from standard input. Both exit
+// non-zero when any error-severity diagnostic is found.
 package main
 
 import (
@@ -22,13 +26,13 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "harmonyctl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("harmonyctl", flag.ContinueOnError)
 	addr := fs.String("addr", fmt.Sprintf("127.0.0.1:%d", harmony.DefaultPort), "Harmony server address")
 	if err := fs.Parse(args); err != nil {
@@ -39,13 +43,16 @@ func run(args []string, stdout io.Writer) error {
 		cmd = fs.Arg(0)
 	}
 
-	// vet is fully offline; the remaining commands talk to a server.
+	// vet and lint are fully offline; the remaining commands talk to a
+	// server.
 	switch cmd {
 	case "vet":
-		return runVet(fs.Args()[1:], stdout)
+		return runVet(fs.Args()[1:], stdin, stdout)
+	case "lint":
+		return runLint(fs.Args()[1:], stdin, stdout)
 	case "status", "reevaluate":
 	default:
-		return fmt.Errorf("unknown command %q (want status, reevaluate or vet)", cmd)
+		return fmt.Errorf("unknown command %q (want status, reevaluate, vet or lint)", cmd)
 	}
 
 	client, err := harmony.Dial(*addr)
@@ -82,47 +89,150 @@ func run(args []string, stdout io.Writer) error {
 	panic("unreachable")
 }
 
-// runVet analyzes each file and prints its diagnostics, prefixed by the
-// filename (or as a JSON array of reports with -json). It fails when any
-// file carries an error-severity finding.
-func runVet(args []string, stdout io.Writer) error {
+// readSpec loads one spec argument; "-" reads standard input (at most
+// once per invocation) and reports itself as "<stdin>".
+func readSpec(file string, stdin io.Reader, stdinUsed *bool) (name, src string, err error) {
+	if file == "-" {
+		if *stdinUsed {
+			return "", "", errors.New(`"-" (stdin) may be given only once`)
+		}
+		*stdinUsed = true
+		b, err := io.ReadAll(stdin)
+		if err != nil {
+			return "", "", fmt.Errorf("stdin: %w", err)
+		}
+		return "<stdin>", string(b), nil
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		return "", "", err
+	}
+	return file, string(b), nil
+}
+
+// emitReports renders reports as text (file-prefixed diagnostics), JSON,
+// or SARIF.
+func emitReports(reports []*harmony.VetReport, jsonOut, sarifOut bool, stdout io.Writer) error {
+	switch {
+	case sarifOut:
+		b, err := harmony.VetSARIF(reports)
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(b)
+		return err
+	case jsonOut:
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	default:
+		for _, rep := range reports {
+			for _, d := range rep.Diags {
+				if d.File != "" {
+					fmt.Fprintln(stdout, d)
+				} else {
+					fmt.Fprintf(stdout, "%s:%s\n", rep.File, d)
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// runVet analyzes each file on its own and prints its diagnostics,
+// prefixed by the filename (or as JSON / SARIF). It fails when any file
+// carries an error-severity finding.
+func runVet(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("harmonyctl vet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array of reports")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return errors.New("vet: no files given (usage: harmonyctl vet [-json] <file.rsl>...)")
+		return errors.New("vet: no files given (usage: harmonyctl vet [-json|-sarif] <file.rsl>...)")
 	}
 	reports := make([]*harmony.VetReport, 0, fs.NArg())
 	errFiles := 0
+	stdinUsed := false
 	for _, file := range fs.Args() {
-		src, err := os.ReadFile(file)
+		name, src, err := readSpec(file, stdin, &stdinUsed)
 		if err != nil {
 			return fmt.Errorf("vet: %w", err)
 		}
-		rep := harmony.VetScript(string(src), harmony.VetOptions{})
-		rep.File = file
+		rep := harmony.VetScript(src, harmony.VetOptions{})
+		rep.File = name
 		reports = append(reports, rep)
 		if rep.HasErrors() {
 			errFiles++
 		}
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(reports); err != nil {
-			return err
-		}
-	} else {
-		for _, rep := range reports {
-			for _, d := range rep.Diags {
-				fmt.Fprintf(stdout, "%s:%s\n", rep.File, d)
-			}
-		}
+	if err := emitReports(reports, *jsonOut, *sarifOut, stdout); err != nil {
+		return err
 	}
 	if errFiles > 0 {
 		return fmt.Errorf("vet: errors in %d of %d file(s)", errFiles, len(reports))
+	}
+	return nil
+}
+
+// runLint vets a set of specs jointly against one cluster: each spec is
+// analyzed alone (with the cluster's nodes in scope), then the whole set
+// is checked for aggregate feasibility — combined best-case memory,
+// exclusive nodes, per-host pinned memory and bandwidth.
+func runLint(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("harmonyctl lint", flag.ContinueOnError)
+	clusterFile := fs.String("cluster", "", "RSL file declaring the cluster's harmonyNodes (required)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array of reports")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clusterFile == "" {
+		return errors.New("lint: -cluster is required (usage: harmonyctl lint -cluster <cluster.rsl> <file.rsl>...)")
+	}
+	if fs.NArg() == 0 {
+		return errors.New("lint: no spec files given")
+	}
+	stdinUsed := false
+	clusterName, clusterSrc, err := readSpec(*clusterFile, stdin, &stdinUsed)
+	if err != nil {
+		return fmt.Errorf("lint: %w", err)
+	}
+	_, decls, err := harmony.DecodeScript(clusterSrc)
+	if err != nil {
+		return fmt.Errorf("lint: cluster %s: %w", clusterName, err)
+	}
+	if len(decls) == 0 {
+		return fmt.Errorf("lint: cluster %s declares no harmonyNodes", clusterName)
+	}
+
+	var reports []*harmony.VetReport
+	var specs []harmony.VetWorkloadSpec
+	hadErrors := false
+	for _, file := range fs.Args() {
+		name, src, err := readSpec(file, stdin, &stdinUsed)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		rep := harmony.VetScript(src, harmony.VetOptions{ExtraNodes: decls})
+		rep.File = name
+		reports = append(reports, rep)
+		if rep.HasErrors() {
+			hadErrors = true
+		}
+		specs = append(specs, harmony.VetWorkloadSpec{File: name, Src: src})
+	}
+	joint := harmony.VetWorkload(specs, harmony.VetOptions{ExtraNodes: decls})
+	reports = append(reports, joint)
+	if joint.HasErrors() {
+		hadErrors = true
+	}
+	if err := emitReports(reports, *jsonOut, *sarifOut, stdout); err != nil {
+		return err
+	}
+	if hadErrors {
+		return errors.New("lint: the workload cannot run as specified")
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -36,20 +37,20 @@ func startServer(t *testing.T) string {
 
 func TestStatusAgainstLiveServer(t *testing.T) {
 	addr := startServer(t)
-	if err := run([]string{"-addr", addr, "status"}, io.Discard); err != nil {
+	if err := run([]string{"-addr", addr, "status"}, nil, io.Discard); err != nil {
 		t.Fatalf("status: %v", err)
 	}
-	if err := run([]string{"-addr", addr, "reevaluate"}, io.Discard); err != nil {
+	if err := run([]string{"-addr", addr, "reevaluate"}, nil, io.Discard); err != nil {
 		t.Fatalf("reevaluate: %v", err)
 	}
 }
 
 func TestUnknownCommandEnumeratesSubcommands(t *testing.T) {
-	err := run([]string{"bogus"}, io.Discard)
+	err := run([]string{"bogus"}, nil, io.Discard)
 	if err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	for _, want := range []string{"status", "reevaluate", "vet"} {
+	for _, want := range []string{"status", "reevaluate", "vet", "lint"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not mention subcommand %q", err, want)
 		}
@@ -57,7 +58,7 @@ func TestUnknownCommandEnumeratesSubcommands(t *testing.T) {
 }
 
 func TestDialFailure(t *testing.T) {
-	if err := run([]string{"-addr", "127.0.0.1:1", "status"}, io.Discard); err == nil {
+	if err := run([]string{"-addr", "127.0.0.1:1", "status"}, nil, io.Discard); err == nil {
 		t.Fatal("dial to closed port succeeded")
 	}
 }
@@ -85,13 +86,13 @@ const badSpec = `harmonyBundle App:1 b {
 // broken one fails with its diagnostics on stdout, file-prefixed.
 func TestVetOffline(t *testing.T) {
 	good := writeSpec(t, "good.rsl", goodSpec)
-	if err := run([]string{"vet", good}, io.Discard); err != nil {
+	if err := run([]string{"vet", good}, nil, io.Discard); err != nil {
 		t.Fatalf("vet on a clean spec: %v", err)
 	}
 
 	bad := writeSpec(t, "bad.rsl", badSpec)
 	var sb strings.Builder
-	err := run([]string{"vet", good, bad}, &sb)
+	err := run([]string{"vet", good, bad}, nil, &sb)
 	if err == nil {
 		t.Fatal("vet on a broken spec succeeded")
 	}
@@ -107,7 +108,7 @@ func TestVetOffline(t *testing.T) {
 func TestVetJSON(t *testing.T) {
 	bad := writeSpec(t, "bad.rsl", badSpec)
 	var sb strings.Builder
-	if err := run([]string{"vet", "-json", bad}, &sb); err == nil {
+	if err := run([]string{"vet", "-json", bad}, nil, &sb); err == nil {
 		t.Fatal("vet on a broken spec succeeded")
 	}
 	var reports []*harmony.VetReport
@@ -123,7 +124,103 @@ func TestVetJSON(t *testing.T) {
 }
 
 func TestVetNoFiles(t *testing.T) {
-	if err := run([]string{"vet"}, io.Discard); err == nil {
+	if err := run([]string{"vet"}, nil, io.Discard); err == nil {
 		t.Fatal("vet without files succeeded")
+	}
+}
+
+// TestVetStdin: "-" reads the spec from standard input and reports it as
+// "<stdin>".
+func TestVetStdin(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"vet", "-"}, strings.NewReader(badSpec), &sb)
+	if err == nil {
+		t.Fatal("vet on a broken stdin spec succeeded")
+	}
+	if !strings.Contains(sb.String(), "<stdin>:") {
+		t.Errorf("diagnostics do not name <stdin>:\n%s", sb.String())
+	}
+	// stdin may only be consumed once.
+	if err := run([]string{"vet", "-", "-"}, strings.NewReader(goodSpec), io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "once") {
+		t.Errorf("double stdin not refused: %v", err)
+	}
+}
+
+func TestVetSARIF(t *testing.T) {
+	bad := writeSpec(t, "bad.rsl", badSpec)
+	var sb strings.Builder
+	if err := run([]string{"vet", "-sarif", bad}, nil, &sb); err == nil {
+		t.Fatal("vet on a broken spec succeeded")
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || len(log.Runs[0].Results) == 0 {
+		t.Fatalf("unexpected SARIF shape: %+v", log)
+	}
+	if log.Runs[0].Results[0].RuleID != "unbound-var" {
+		t.Errorf("ruleId = %q, want unbound-var", log.Runs[0].Results[0].RuleID)
+	}
+}
+
+const tinyCluster = `harmonyNode only {speed 1} {memory 8} {os linux}
+`
+
+// greedySpec fits the tiny cluster alone; two of them cannot coexist.
+const greedySpec = `harmonyBundle App:%d b {
+	{only {node n * {memory 6}}}
+}
+`
+
+func TestLint(t *testing.T) {
+	cluster := writeSpec(t, "cluster.rsl", tinyCluster)
+	a := writeSpec(t, "a.rsl", fmt.Sprintf(greedySpec, 1))
+	b := writeSpec(t, "b.rsl", fmt.Sprintf(greedySpec, 2))
+
+	// One spec fits.
+	if err := run([]string{"lint", "-cluster", cluster, a}, nil, io.Discard); err != nil {
+		t.Fatalf("lint on a feasible workload: %v", err)
+	}
+
+	// Two specs jointly exceed the cluster's 8 MB.
+	var sb strings.Builder
+	err := run([]string{"lint", "-cluster", cluster, a, b}, nil, &sb)
+	if err == nil {
+		t.Fatal("lint on an infeasible workload succeeded")
+	}
+	if !strings.Contains(sb.String(), "[workload-memory]") {
+		t.Errorf("joint finding missing:\n%s", sb.String())
+	}
+
+	// The spec may come from stdin.
+	if err := run([]string{"lint", "-cluster", cluster, a, "-"},
+		strings.NewReader(fmt.Sprintf(greedySpec, 2)), &sb); err == nil {
+		t.Fatal("lint with an infeasible stdin spec succeeded")
+	}
+}
+
+func TestLintFlagValidation(t *testing.T) {
+	cluster := writeSpec(t, "cluster.rsl", tinyCluster)
+	spec := writeSpec(t, "a.rsl", fmt.Sprintf(greedySpec, 1))
+	if err := run([]string{"lint", spec}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "-cluster") {
+		t.Errorf("missing -cluster not refused: %v", err)
+	}
+	if err := run([]string{"lint", "-cluster", cluster}, nil, io.Discard); err == nil {
+		t.Error("lint without specs succeeded")
+	}
+	empty := writeSpec(t, "empty.rsl", "")
+	if err := run([]string{"lint", "-cluster", empty, spec}, nil, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "harmonyNode") {
+		t.Errorf("nodeless cluster not refused: %v", err)
 	}
 }

@@ -13,6 +13,11 @@
 //
 //	harmonyNode fast.cs.umd.edu {speed 2.5} {memory 256} {os linux}
 //	harmonyNode slow.cs.umd.edu {speed 0.8} {memory 64} {os linux}
+//
+// With -vet reject, each incoming bundle is analyzed both on its own and
+// jointly with the bundles already admitted: a spec whose best-case
+// demand provably cannot fit next to the running workload is refused at
+// the front door instead of failing inside the controller.
 package main
 
 import (
@@ -41,7 +46,7 @@ func run(args []string) error {
 	objectiveName := fs.String("objective", "mean", "objective function: mean|total|throughput|max|weighted")
 	reeval := fs.Duration("reeval", 30*time.Second, "periodic re-evaluation interval (virtual time; 0 disables)")
 	exhaustive := fs.Bool("exhaustive", false, "use the exhaustive optimizer instead of greedy")
-	vetFlag := fs.String("vet", "warn", "static-analyze incoming bundles: warn (log findings), reject (refuse error-severity specs), off")
+	vetFlag := fs.String("vet", "warn", "static-analyze incoming bundles: warn (log findings), reject (refuse error-severity specs, judged jointly with the admitted workload), off")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

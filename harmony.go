@@ -158,6 +158,8 @@ type (
 	VetCheckInfo = vet.CheckInfo
 	// VetSeverity classifies a diagnostic.
 	VetSeverity = vet.Severity
+	// VetWorkloadSpec is one spec in a joint workload analysis.
+	VetWorkloadSpec = vet.WorkloadSpec
 	// VetMode selects how the server treats vet findings on registration.
 	VetMode = server.VetMode
 )
@@ -181,6 +183,15 @@ const (
 
 // VetScript statically analyzes an RSL script.
 func VetScript(src string, opts VetOptions) *VetReport { return vet.Script(src, opts) }
+
+// VetWorkload jointly analyzes a set of specs against one cluster,
+// reporting workloads that provably cannot fit even in their best case.
+func VetWorkload(specs []VetWorkloadSpec, opts VetOptions) *VetReport {
+	return vet.Workload(specs, opts)
+}
+
+// VetSARIF renders reports as a SARIF 2.1.0 log for code-review tooling.
+func VetSARIF(reports []*VetReport) ([]byte, error) { return vet.SARIF(reports) }
 
 // VetChecks enumerates the registered static checks.
 func VetChecks() []VetCheckInfo { return vet.Checks() }

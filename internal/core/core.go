@@ -470,6 +470,19 @@ func (c *Controller) Apps() []Snapshot {
 	return out
 }
 
+// Bundles returns the registered option bundles in registration order, so
+// workload-level analyses (package vet) can judge an incoming spec against
+// the demand already admitted.
+func (c *Controller) Bundles() []*rsl.BundleSpec {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*rsl.BundleSpec, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.apps[id].bundle)
+	}
+	return out
+}
+
 // ClusterNodes describes the managed cluster as harmonyNode declarations,
 // so spec analyses (package vet) can validate incoming bundles against the
 // capacities actually on offer.

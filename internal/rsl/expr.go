@@ -338,6 +338,42 @@ func boolVal(b bool) float64 {
 	return 0
 }
 
+// Walk visits e and every subexpression in prefix order. Static analyses
+// (package vet and its interval abstract interpreter) use it to inspect
+// expression trees without reimplementing the traversal.
+func Walk(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch n := e.(type) {
+	case *UnaryExpr:
+		Walk(n.X, fn)
+	case *BinaryExpr:
+		Walk(n.L, fn)
+		Walk(n.R, fn)
+	case *CondExpr:
+		Walk(n.Cond, fn)
+		Walk(n.Then, fn)
+		Walk(n.Else, fn)
+	case *CallExpr:
+		for _, a := range n.Args {
+			Walk(a, fn)
+		}
+	}
+}
+
+// Builtins maps each built-in call function to its arity; -1 marks the
+// variadic functions taking at least one argument (min, max). Abstract
+// evaluators mirror CallExpr.Eval's arity rules through this table.
+func Builtins() map[string]int {
+	return map[string]int{
+		"min": -1, "max": -1,
+		"abs": 1, "floor": 1, "ceil": 1, "sqrt": 1, "log2": 1,
+		"pow": 2,
+	}
+}
+
 // --- expression tokenizer + parser (precedence climbing) ---
 
 type exprToken struct {

@@ -408,6 +408,25 @@ func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
 				return errReply("bundle_setup: vet: %s", d)
 			}
 		}
+		// Judge the incoming spec jointly with everything already admitted:
+		// even an individually-fine bundle is rejected when the combined
+		// best-case demand provably exceeds the cluster.
+		specs := make([]vet.WorkloadSpec, 0, 2)
+		if admitted := c.srv.cfg.Controller.Bundles(); len(admitted) > 0 {
+			specs = append(specs, vet.WorkloadSpec{File: "admitted", Bundles: admitted})
+		}
+		specs = append(specs, vet.WorkloadSpec{File: "incoming", Src: msg.RSL})
+		wrep := vet.Workload(specs, vet.Options{
+			ExtraNodes: c.srv.cfg.Controller.ClusterNodes(),
+		})
+		for _, d := range wrep.Diags {
+			c.srv.cfg.Logf("harmony: vet: %s", d)
+		}
+		if c.srv.cfg.Vet == VetReject {
+			if d, bad := wrep.FirstError(); bad {
+				return errReply("bundle_setup: vet: %s", d)
+			}
+		}
 	}
 	bundles, _, err := rsl.DecodeScript(msg.RSL)
 	if err != nil {

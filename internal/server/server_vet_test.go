@@ -5,6 +5,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/simclock"
 )
 
 // warnRSL is legal and matchable but carries a warning-severity finding
@@ -87,6 +91,91 @@ func TestVetOffSkipsAnalysis(t *testing.T) {
 	}
 	if logged := lc.joined(); strings.Contains(logged, "vet:") {
 		t.Errorf("vet ran under VetOff; log was:\n%s", logged)
+	}
+}
+
+// hungryRSL fits a two-node SP-2 on its own (2 x 100 MB on 2 x 128 MB
+// hosts) but two copies provably cannot coexist.
+const hungryRSL = `
+harmonyBundle Greedy:%d jobs {
+	{run
+		{node worker * {memory 100} {replicate 2}}
+	}
+}`
+
+func TestVetRejectJointWorkload(t *testing.T) {
+	cl, err := cluster.NewSP2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.New(core.Config{Cluster: cl, Clock: simclock.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lc logCapture
+	srv, err := Listen("127.0.0.1:0", Config{Controller: ctrl, Vet: VetReject, Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctrl.Stop()
+	})
+	c := dialTest(t, srv)
+	if err := c.Startup("Greedy", true); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := c.BundleSetup(fmt.Sprintf(hungryRSL, 1)); err != nil {
+		t.Fatalf("first bundle rejected: %v", err)
+	}
+	// The second bundle is individually fine, but the pair demands 400 MB
+	// of a 256 MB cluster — admission must consider the admitted set.
+	if _, err := c.BundleSetup(fmt.Sprintf(hungryRSL, 2)); err == nil {
+		t.Fatal("jointly infeasible bundle accepted under VetReject")
+	} else if !strings.Contains(err.Error(), "workload-memory") {
+		t.Errorf("rejection does not name the workload check: %v", err)
+	}
+	if logged := lc.joined(); !strings.Contains(logged, "[workload-memory]") {
+		t.Errorf("joint finding not logged; log was:\n%s", logged)
+	}
+}
+
+// TestVetWarnLogsJointWorkload: in the default mode the joint finding is
+// logged before the bundle proceeds to the controller (which is free to
+// refuse it for its own reasons — vet does not pre-empt that).
+func TestVetWarnLogsJointWorkload(t *testing.T) {
+	cl, err := cluster.NewSP2(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := core.New(core.Config{Cluster: cl, Clock: simclock.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lc logCapture
+	srv, err := Listen("127.0.0.1:0", Config{Controller: ctrl, Logf: lc.logf})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		ctrl.Stop()
+	})
+	c := dialTest(t, srv)
+	if err := c.Startup("Greedy", true); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := c.BundleSetup(fmt.Sprintf(hungryRSL, 1)); err != nil {
+		t.Fatalf("first bundle rejected: %v", err)
+	}
+	// The controller legitimately refuses the second bundle (nothing
+	// fits), but the vet log must already carry the joint finding.
+	if _, err := c.BundleSetup(fmt.Sprintf(hungryRSL, 2)); err != nil &&
+		strings.Contains(err.Error(), "vet:") {
+		t.Fatalf("VetWarn rejected on a vet finding: %v", err)
+	}
+	if logged := lc.joined(); !strings.Contains(logged, "[workload-memory]") {
+		t.Errorf("joint finding not logged; log was:\n%s", logged)
 	}
 }
 

@@ -1,0 +1,213 @@
+package absint
+
+import (
+	"harmony/internal/rsl"
+)
+
+// Result is the abstract value of an expression: the interval of every
+// value a successful concrete evaluation can produce, plus whether any
+// concrete evaluation can fail (unbound variable, division or modulo by
+// zero, sqrt/log2 domain error, unknown operator or arity mismatch).
+// An empty Val with MayErr set means every evaluation fails.
+type Result struct {
+	Val    Interval
+	MayErr bool
+}
+
+// Env resolves free variables to intervals during abstract evaluation. A
+// name that resolves to no interval is treated as unbound, matching the
+// concrete evaluator's UnboundVarError.
+type Env interface {
+	Lookup(name string) (Interval, bool)
+}
+
+// MapEnv is an Env backed by a map. A nil MapEnv resolves nothing.
+type MapEnv map[string]Interval
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) (Interval, bool) {
+	iv, ok := m[name]
+	return iv, ok
+}
+
+// norm restores the Result invariant: an empty value set means no
+// evaluation succeeds, so failure must be flagged.
+func norm(r Result) Result {
+	if r.Val.IsEmpty() {
+		r.MayErr = true
+	}
+	return r
+}
+
+// Eval abstractly evaluates e under env, following the structure (and in
+// particular the short-circuit and error behavior) of the concrete
+// Expr.Eval. It never fails: unknown constructs degrade to Top or Empty
+// with MayErr set rather than returning an error.
+func Eval(e rsl.Expr, env Env) Result {
+	switch n := e.(type) {
+	case *rsl.NumberExpr:
+		return Result{Val: Point(n.Value)}
+	case *rsl.VarExpr:
+		if env != nil {
+			if iv, ok := env.Lookup(n.Name); ok {
+				return norm(Result{Val: iv})
+			}
+		}
+		return Result{Val: Empty(), MayErr: true}
+	case *rsl.UnaryExpr:
+		x := Eval(n.X, env)
+		switch n.Op {
+		case "-":
+			return norm(Result{Val: x.Val.Neg(), MayErr: x.MayErr})
+		case "!":
+			return norm(Result{Val: x.Val.Not(), MayErr: x.MayErr})
+		}
+		return Result{Val: Empty(), MayErr: true}
+	case *rsl.BinaryExpr:
+		return evalBinary(n, env)
+	case *rsl.CondExpr:
+		return evalCond(n, env)
+	case *rsl.CallExpr:
+		return evalCall(n, env)
+	}
+	return Result{Val: Empty(), MayErr: true}
+}
+
+func evalBinary(n *rsl.BinaryExpr, env Env) Result {
+	l := Eval(n.L, env)
+	// Short-circuit logical operators: a definitely-false left operand of
+	// && (definitely-true for ||) never evaluates the right side, so its
+	// possible errors must not leak into the result.
+	switch n.Op {
+	case "&&":
+		if l.Val.IsEmpty() {
+			return norm(l)
+		}
+		switch l.Val.Truth() {
+		case TruthFalse:
+			return Result{Val: Point(0), MayErr: l.MayErr}
+		case TruthTrue:
+			r := Eval(n.R, env)
+			return norm(Result{Val: truthInterval(r.Val), MayErr: l.MayErr || r.MayErr})
+		}
+		r := Eval(n.R, env)
+		return norm(Result{Val: Join(Point(0), truthInterval(r.Val)), MayErr: l.MayErr || r.MayErr})
+	case "||":
+		if l.Val.IsEmpty() {
+			return norm(l)
+		}
+		switch l.Val.Truth() {
+		case TruthTrue:
+			return Result{Val: Point(1), MayErr: l.MayErr}
+		case TruthFalse:
+			r := Eval(n.R, env)
+			return norm(Result{Val: truthInterval(r.Val), MayErr: l.MayErr || r.MayErr})
+		}
+		r := Eval(n.R, env)
+		return norm(Result{Val: Join(Point(1), truthInterval(r.Val)), MayErr: l.MayErr || r.MayErr})
+	}
+	r := Eval(n.R, env)
+	mayErr := l.MayErr || r.MayErr
+	var v Interval
+	switch n.Op {
+	case "+":
+		v = l.Val.Add(r.Val)
+	case "-":
+		v = l.Val.Sub(r.Val)
+	case "*":
+		v = l.Val.Mul(r.Val)
+	case "/":
+		v = l.Val.Div(r.Val)
+		mayErr = mayErr || r.Val.ContainsZero()
+	case "%":
+		v = l.Val.Mod(r.Val)
+		mayErr = mayErr || r.Val.ContainsZero()
+	case "^":
+		v = l.Val.Pow(r.Val)
+	case "<":
+		v = Lt(l.Val, r.Val)
+	case "<=":
+		v = Le(l.Val, r.Val)
+	case ">":
+		v = Gt(l.Val, r.Val)
+	case ">=":
+		v = Ge(l.Val, r.Val)
+	case "==":
+		v = Eq(l.Val, r.Val)
+	case "!=":
+		v = Ne(l.Val, r.Val)
+	default:
+		return Result{Val: Empty(), MayErr: true}
+	}
+	return norm(Result{Val: v, MayErr: mayErr})
+}
+
+// evalCond prunes provably-constant branches: when the condition is
+// definitely true (or false) the untaken branch contributes neither its
+// value nor its possible errors, mirroring the concrete evaluator.
+func evalCond(n *rsl.CondExpr, env Env) Result {
+	c := Eval(n.Cond, env)
+	if c.Val.IsEmpty() {
+		return norm(c)
+	}
+	switch c.Val.Truth() {
+	case TruthTrue:
+		t := Eval(n.Then, env)
+		return norm(Result{Val: t.Val, MayErr: c.MayErr || t.MayErr})
+	case TruthFalse:
+		e := Eval(n.Else, env)
+		return norm(Result{Val: e.Val, MayErr: c.MayErr || e.MayErr})
+	}
+	t := Eval(n.Then, env)
+	e := Eval(n.Else, env)
+	return norm(Result{Val: Join(t.Val, e.Val), MayErr: c.MayErr || t.MayErr || e.MayErr})
+}
+
+func evalCall(n *rsl.CallExpr, env Env) Result {
+	// The concrete evaluator computes every argument before checking the
+	// function name or arity, so argument errors always surface.
+	args := make([]Interval, len(n.Args))
+	mayErr := false
+	anyEmpty := false
+	for i, a := range n.Args {
+		r := Eval(a, env)
+		args[i] = r.Val
+		mayErr = mayErr || r.MayErr
+		anyEmpty = anyEmpty || r.Val.IsEmpty()
+	}
+	arity, known := rsl.Builtins()[n.Fn]
+	if !known || (arity >= 0 && len(args) != arity) || (arity < 0 && len(args) == 0) {
+		return Result{Val: Empty(), MayErr: true}
+	}
+	if anyEmpty {
+		return Result{Val: Empty(), MayErr: true}
+	}
+	var v Interval
+	switch n.Fn {
+	case "min":
+		v = args[0]
+		for _, a := range args[1:] {
+			v = MinI(v, a)
+		}
+	case "max":
+		v = args[0]
+		for _, a := range args[1:] {
+			v = MaxI(v, a)
+		}
+	case "abs":
+		v = args[0].Abs()
+	case "floor":
+		v = args[0].Floor()
+	case "ceil":
+		v = args[0].Ceil()
+	case "sqrt":
+		v = args[0].Sqrt()
+		mayErr = mayErr || args[0].Lo < 0
+	case "log2":
+		v = args[0].Log2()
+		mayErr = mayErr || args[0].Lo <= 0
+	case "pow":
+		v = args[0].Pow(args[1])
+	}
+	return norm(Result{Val: v, MayErr: mayErr})
+}

@@ -1,0 +1,265 @@
+package absint_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"harmony/internal/rsl"
+	"harmony/internal/vet/absint"
+)
+
+func TestEvalExpr(t *testing.T) {
+	env := absint.MapEnv{
+		"x": absint.Of(1, 5),
+		"y": absint.Of(-2, 2),
+		"n": absint.Of(1, 10),
+		"p": absint.Of(20, 30),
+	}
+	for _, c := range []struct {
+		src     string
+		want    absint.Interval
+		wantErr bool
+	}{
+		// Constant folding.
+		{"1 + 2 * 3", absint.Point(7), false},
+		{"min(4, 9, 2)", absint.Point(2), false},
+		{"2 ^ 10", absint.Point(1024), false},
+		// Plain interval arithmetic.
+		{"x + 10", absint.Of(11, 15), false},
+		{"x * y", absint.Of(-10, 10), false},
+		{"max(x, 3)", absint.Of(3, 5), false},
+		// Division: point-zero divisor always fails; zero-spanning may.
+		{"1 / 0", absint.Empty(), true},
+		{"100 / (n - 2)", absint.Top(), true},
+		{"100 / x", absint.Of(20, 100), false},
+		// Unbound names.
+		{"zzz + 1", absint.Empty(), true},
+		// Arity errors mirror the concrete evaluator.
+		{"min()", absint.Empty(), true},
+		{"abs(1, 2)", absint.Empty(), true},
+		{"frob(1)", absint.Empty(), true},
+		// Branch pruning: the untaken division never contributes an error.
+		{"p > 10 ? x : 1 / 0", absint.Of(1, 5), false},
+		{"p < 10 ? 1 / 0 : x", absint.Of(1, 5), false},
+		{"x > 2 ? 1 : 5", absint.Of(1, 5), false},
+		// Short-circuit: a pruned right side leaks neither value nor error.
+		{"0 && 1 / 0", absint.Point(0), false},
+		{"1 || zzz", absint.Point(1), false},
+		{"p && x", absint.Point(1), false},
+		{"y && 1", absint.Of(0, 1), false},
+		// Domain errors.
+		{"sqrt(y)", absint.Of(0, math.Sqrt(2)), true},
+		{"sqrt(x)", absint.Of(1, math.Sqrt(5)), false},
+		{"log2(y)", absint.Of(math.Inf(-1), 1), true},
+		{"log2(8)", absint.Point(3), false},
+		// Comparisons fold to constants when provable.
+		{"p > 10", absint.Point(1), false},
+		{"x == 7", absint.Point(0), false},
+		{"!(p > 10)", absint.Point(0), false},
+	} {
+		e, err := rsl.ParseExpr(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		res := absint.Eval(e, env)
+		if !eq(res.Val, c.want) {
+			t.Errorf("Eval(%q).Val = %v, want %v", c.src, res.Val, c.want)
+		}
+		if res.MayErr != c.wantErr {
+			t.Errorf("Eval(%q).MayErr = %v, want %v", c.src, res.MayErr, c.wantErr)
+		}
+	}
+}
+
+func TestEvalNilEnv(t *testing.T) {
+	res := absint.Eval(rsl.MustParseExpr("x"), nil)
+	if !res.Val.IsEmpty() || !res.MayErr {
+		t.Errorf("unbound under nil env: %+v", res)
+	}
+}
+
+// --- soundness oracle shared by the property test and FuzzInterval ---
+
+// containsTol is interval membership with a one-sided rounding allowance:
+// the abstract endpoints and the concrete evaluation compute "the same"
+// real number through differently associated float operations, so a value
+// may land an ulp outside the interval.
+func containsTol(iv absint.Interval, v float64) bool {
+	if iv.Contains(v) {
+		return true
+	}
+	if iv.IsEmpty() {
+		return false
+	}
+	tol := 1e-9 * math.Max(1, math.Max(math.Abs(v), math.Max(math.Abs(iv.Lo), math.Abs(iv.Hi))))
+	if math.IsInf(tol, 0) {
+		tol = math.MaxFloat64 / 1e16
+	}
+	return v >= iv.Lo-tol && v <= iv.Hi+tol
+}
+
+// anyNaNSub reports whether any subexpression evaluates to NaN under env.
+// NaN intermediates are outside the soundness contract (see the package
+// doc): a comparison collapses NaN to 0 in a way no interval can track.
+func anyNaNSub(e rsl.Expr, env rsl.Env) bool {
+	nan := false
+	rsl.Walk(e, func(se rsl.Expr) {
+		if v, err := se.Eval(env); err == nil && math.IsNaN(v) {
+			nan = true
+		}
+	})
+	return nan
+}
+
+// widenEnv pads every interval outward; the oracle retries containment
+// under the widened environment to absorb discontinuity straddles (a
+// floor/ceil/comparison amplifying an ulp of rounding skew into a unit).
+func widenEnv(env absint.MapEnv) absint.MapEnv {
+	w := make(absint.MapEnv, len(env))
+	for k, iv := range env {
+		d := 1e-6 * (1 + math.Abs(iv.Lo) + math.Abs(iv.Hi))
+		if math.IsInf(d, 0) {
+			d = 0
+		}
+		w[k] = absint.Of(iv.Lo-d, iv.Hi+d)
+	}
+	return w
+}
+
+// assertSound checks the soundness contract for one expression, one
+// abstract environment, and one concrete environment drawn from it.
+func assertSound(t *testing.T, e rsl.Expr, aenv absint.MapEnv, cenv rsl.MapEnv) {
+	t.Helper()
+	res := absint.Eval(e, aenv)
+	v, err := e.Eval(cenv)
+	if anyNaNSub(e, cenv) {
+		return
+	}
+	if err != nil {
+		if !res.MayErr {
+			t.Fatalf("unsound: %s fails concretely (%v) but MayErr is false (env %v)", e, err, cenv)
+		}
+		return
+	}
+	if containsTol(res.Val, v) {
+		return
+	}
+	if containsTol(absint.Eval(e, widenEnv(aenv)).Val, v) {
+		return
+	}
+	t.Fatalf("unsound: %s = %g not in %v (env %v)", e, v, res.Val, cenv)
+}
+
+// --- deterministic expression generator ---
+
+var genNumbers = []float64{0, 1, -1, 2, 3, 0.5, -7, 17, 24, 44, 100, 1000, -250}
+var genVars = []string{"x", "y", "client.memory", "workerNodes"}
+var genBinOps = []string{"+", "-", "*", "/", "%", "^", "<", "<=", ">", ">=", "==", "!=", "&&", "||"}
+var genFns = []string{"min", "max", "abs", "floor", "ceil", "sqrt", "log2", "pow"}
+
+func genExpr(r *rand.Rand, depth int) rsl.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		if r.Intn(2) == 0 {
+			return &rsl.NumberExpr{Value: genNumbers[r.Intn(len(genNumbers))]}
+		}
+		return &rsl.VarExpr{Name: genVars[r.Intn(len(genVars))]}
+	}
+	switch r.Intn(10) {
+	case 0, 1:
+		op := "-"
+		if r.Intn(2) == 0 {
+			op = "!"
+		}
+		return &rsl.UnaryExpr{Op: op, X: genExpr(r, depth-1)}
+	case 2:
+		return &rsl.CondExpr{
+			Cond: genExpr(r, depth-1),
+			Then: genExpr(r, depth-1),
+			Else: genExpr(r, depth-1),
+		}
+	case 3, 4:
+		fn := genFns[r.Intn(len(genFns))]
+		n := 1
+		switch fn {
+		case "min", "max":
+			n = 1 + r.Intn(3)
+		case "pow":
+			n = 2
+		}
+		if r.Intn(32) == 0 { // occasional arity or name mistake
+			if r.Intn(2) == 0 {
+				fn = "frobnicate"
+			} else {
+				n++
+			}
+		}
+		args := make([]rsl.Expr, n)
+		for i := range args {
+			args[i] = genExpr(r, depth-1)
+		}
+		return &rsl.CallExpr{Fn: fn, Args: args}
+	default:
+		return &rsl.BinaryExpr{
+			Op: genBinOps[r.Intn(len(genBinOps))],
+			L:  genExpr(r, depth-1),
+			R:  genExpr(r, depth-1),
+		}
+	}
+}
+
+// genEnvs builds an abstract environment for the expression's free
+// variables plus concrete sample points inside it (both endpoints, the
+// midpoint, and random interior picks).
+func genEnvs(r *rand.Rand, e rsl.Expr, unboundOK bool) (absint.MapEnv, []rsl.MapEnv) {
+	names := e.Vars(nil)
+	sort.Strings(names)
+	uniq := names[:0]
+	for i, n := range names {
+		if i == 0 || names[i-1] != n {
+			uniq = append(uniq, n)
+		}
+	}
+	aenv := make(absint.MapEnv, len(uniq))
+	const samples = 4
+	cenvs := make([]rsl.MapEnv, samples)
+	for i := range cenvs {
+		cenvs[i] = make(rsl.MapEnv, len(uniq))
+	}
+	for _, n := range uniq {
+		if unboundOK && r.Intn(16) == 0 {
+			continue // leave unbound: concrete eval must error, MayErr must hold
+		}
+		lo := float64(r.Intn(201) - 100)
+		width := 0.0
+		switch r.Intn(3) {
+		case 1:
+			width = float64(r.Intn(50))
+		case 2:
+			width = r.Float64() * 40
+		}
+		hi := lo + width
+		aenv[n] = absint.Of(lo, hi)
+		cenvs[0][n] = lo
+		cenvs[1][n] = hi
+		cenvs[2][n] = lo + width/2
+		cenvs[3][n] = lo + r.Float64()*width
+	}
+	return aenv, cenvs
+}
+
+// TestEvalSoundnessGenerated is the property test over generated
+// expressions: for every concrete sample drawn from the abstract
+// environment, the concrete evaluation lands inside the computed interval
+// (or MayErr covers its failure).
+func TestEvalSoundnessGenerated(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		e := genExpr(r, 4)
+		aenv, cenvs := genEnvs(r, e, true)
+		for _, cenv := range cenvs {
+			assertSound(t, e, aenv, cenv)
+		}
+	}
+}

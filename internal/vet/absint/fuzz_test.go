@@ -1,0 +1,67 @@
+package absint_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"harmony/internal/rsl"
+	"harmony/internal/vet/absint"
+)
+
+// FuzzInterval differentially tests the abstract interpreter against the
+// concrete evaluator: parse an arbitrary expression, derive an interval
+// environment from the seed, sample concrete points inside it, and assert
+// the soundness contract (concrete success lands in the interval, concrete
+// failure implies MayErr).
+func FuzzInterval(f *testing.F) {
+	f.Add("44 + (client.memory > 24 ? 24 : client.memory) - 17", int64(1))
+	f.Add("100 / (njobs - 2)", int64(2))
+	f.Add("sqrt(x - 5) + log2(y)", int64(3))
+	f.Add("min(x, y) % 3 ^ 2", int64(4))
+	f.Add("x > 2 && y || !(x == y)", int64(5))
+	f.Add("pow(workerNodes, 2) / max(1, client.memory)", int64(6))
+	f.Add("floor(x / 7) * ceil(y * 0.5)", int64(7))
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		if len(src) > 256 {
+			return
+		}
+		e, err := rsl.ParseExpr(src)
+		if err != nil {
+			return
+		}
+		r := rand.New(rand.NewSource(seed))
+		names := e.Vars(nil)
+		sort.Strings(names)
+		aenv := make(absint.MapEnv)
+		const samples = 4
+		cenvs := make([]rsl.MapEnv, samples)
+		for i := range cenvs {
+			cenvs[i] = make(rsl.MapEnv)
+		}
+		for i, n := range names {
+			if i > 0 && names[i-1] == n {
+				continue
+			}
+			if r.Intn(16) == 0 {
+				continue // unbound: concrete eval errors, MayErr must hold
+			}
+			lo := float64(r.Intn(401) - 200)
+			width := 0.0
+			switch r.Intn(3) {
+			case 1:
+				width = float64(r.Intn(100))
+			case 2:
+				width = r.Float64() * 50
+			}
+			aenv[n] = absint.Of(lo, lo+width)
+			cenvs[0][n] = lo
+			cenvs[1][n] = lo + width
+			cenvs[2][n] = lo + width/2
+			cenvs[3][n] = lo + r.Float64()*width
+		}
+		for _, cenv := range cenvs {
+			assertSound(t, e, aenv, cenv)
+		}
+	})
+}

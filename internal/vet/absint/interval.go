@@ -1,0 +1,435 @@
+// Package absint implements an interval-domain abstract interpretation of
+// RSL expressions (package rsl). Where the concrete evaluator computes one
+// number under one environment, the abstract evaluator computes a closed
+// interval guaranteed to contain every value the expression can take under
+// every environment drawn from an abstract Env of intervals — regardless
+// of how many concrete bindings that Env describes. Package vet builds its
+// domain-dependent checks on top of this: a property proved on the
+// interval holds for any domain size, where explicit enumeration hits a
+// cliff at a few thousand bindings.
+//
+// The domain is the standard interval lattice over the extended reals,
+// ordered by inclusion: bottom is the empty interval (the expression never
+// evaluates successfully), top is [-∞, +∞]. Soundness contract: for every
+// concrete evaluation under an environment described by the abstract one
+// in which no intermediate value is NaN, a successful result lies inside
+// the computed interval, and a failing one (unbound name, division by
+// zero, domain error) implies MayErr. NaN intermediates — IEEE overflow
+// artifacts like ∞−∞, far outside anything a resource spec means — escape
+// any interval once a comparison maps them to 0, so they are excluded
+// from the contract. FuzzInterval and the generated-expression property
+// test check exactly this contract against the concrete evaluator.
+package absint
+
+import (
+	"fmt"
+	"math"
+)
+
+// Interval is a closed interval [Lo, Hi] over the extended reals. The
+// empty interval (bottom) is any representation with Lo > Hi; Empty
+// returns the canonical one.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Point is the singleton interval [v, v].
+func Point(v float64) Interval { return Interval{Lo: v, Hi: v} }
+
+// Of is the interval [lo, hi]; callers must pass lo <= hi (use Empty for
+// the empty interval).
+func Of(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+// Top is the full line [-∞, +∞]: no information.
+func Top() Interval { return Interval{Lo: math.Inf(-1), Hi: math.Inf(1)} }
+
+// Empty is the canonical empty interval: the expression yields no value.
+func Empty() Interval { return Interval{Lo: math.Inf(1), Hi: math.Inf(-1)} }
+
+// FromValues is the convex hull of a finite value set, e.g. a declared RSL
+// variable domain. The hull of an empty set is Empty.
+func FromValues(vs []float64) Interval {
+	iv := Empty()
+	for _, v := range vs {
+		iv = Join(iv, Point(v))
+	}
+	return iv
+}
+
+// IsEmpty reports whether the interval contains no value.
+func (iv Interval) IsEmpty() bool { return !(iv.Lo <= iv.Hi) }
+
+// IsPoint reports whether the interval is the single value v.
+func (iv Interval) IsPoint() (v float64, ok bool) {
+	if iv.Lo == iv.Hi && !iv.IsEmpty() {
+		return iv.Lo, true
+	}
+	return 0, false
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// ContainsZero reports whether 0 lies inside the interval.
+func (iv Interval) ContainsZero() bool { return iv.Contains(0) }
+
+// String renders the interval for diagnostics: a bare number for points,
+// "[lo, hi]" otherwise, "(none)" when empty.
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "(none)"
+	}
+	if v, ok := iv.IsPoint(); ok {
+		return fmt.Sprintf("%g", v)
+	}
+	return fmt.Sprintf("[%g, %g]", iv.Lo, iv.Hi)
+}
+
+// Join is the lattice join: the smallest interval containing both.
+func Join(a, b Interval) Interval {
+	if a.IsEmpty() {
+		return b
+	}
+	if b.IsEmpty() {
+		return a
+	}
+	return Interval{Lo: math.Min(a.Lo, b.Lo), Hi: math.Max(a.Hi, b.Hi)}
+}
+
+// Meet is the lattice meet: the intersection.
+func Meet(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	m := Interval{Lo: math.Max(a.Lo, b.Lo), Hi: math.Min(a.Hi, b.Hi)}
+	if m.IsEmpty() {
+		return Empty()
+	}
+	return m
+}
+
+// Truth classifies an interval's truthiness under RSL's "non-zero is true"
+// convention.
+type Truth int
+
+const (
+	// TruthUnknown: the interval holds zero and non-zero values (or is
+	// empty).
+	TruthUnknown Truth = iota
+	// TruthFalse: every value is zero.
+	TruthFalse
+	// TruthTrue: no value is zero.
+	TruthTrue
+)
+
+// Truth classifies the interval's truthiness; empty intervals are
+// TruthUnknown (callers should check IsEmpty first).
+func (iv Interval) Truth() Truth {
+	if iv.IsEmpty() {
+		return TruthUnknown
+	}
+	if v, ok := iv.IsPoint(); ok && v == 0 {
+		return TruthFalse
+	}
+	if !iv.ContainsZero() {
+		return TruthTrue
+	}
+	return TruthUnknown
+}
+
+// boolBoth is the comparison result when both outcomes are possible.
+func boolBoth() Interval { return Interval{Lo: 0, Hi: 1} }
+
+// truthInterval abstracts boolVal(x != 0) applied to every value of iv.
+func truthInterval(iv Interval) Interval {
+	switch iv.Truth() {
+	case TruthFalse:
+		return Point(0)
+	case TruthTrue:
+		return Point(1)
+	}
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return boolBoth()
+}
+
+// Neg is the interval of -x.
+func (iv Interval) Neg() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: -iv.Hi, Hi: -iv.Lo}
+}
+
+// Not is the interval of !x (1 when x == 0, else 0).
+func (iv Interval) Not() Interval {
+	switch iv.Truth() {
+	case TruthFalse:
+		return Point(1)
+	case TruthTrue:
+		return Point(0)
+	}
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return boolBoth()
+}
+
+// Add is the interval of x + y. Endpoint sums of opposite infinities
+// (NaN) widen to the corresponding infinity, which is sound: only one of
+// the operands can actually attain its infinite endpoint at a time.
+func (a Interval) Add(b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	lo := a.Lo + b.Lo
+	if math.IsNaN(lo) {
+		lo = math.Inf(-1)
+	}
+	hi := a.Hi + b.Hi
+	if math.IsNaN(hi) {
+		hi = math.Inf(1)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Sub is the interval of x - y.
+func (a Interval) Sub(b Interval) Interval { return a.Add(b.Neg()) }
+
+// Mul is the interval of x * y: the hull of the four endpoint products.
+// A 0 × ∞ endpoint product (NaN) contributes 0 — sound because 0 times
+// any attainable finite value is 0, and infinite concrete values yield
+// NaN, which the soundness contract excludes.
+func (a Interval) Mul(b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	prod := func(x, y float64) float64 {
+		p := x * y
+		if math.IsNaN(p) {
+			return 0
+		}
+		return p
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, p := range [4]float64{prod(a.Lo, b.Lo), prod(a.Lo, b.Hi), prod(a.Hi, b.Lo), prod(a.Hi, b.Hi)} {
+		lo = math.Min(lo, p)
+		hi = math.Max(hi, p)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Div is the interval of x / y over the evaluations that succeed (y ≠ 0).
+// A divisor that is exactly zero yields Empty (every evaluation errors); a
+// divisor interval merely containing zero yields Top, since quotients near
+// the zero crossing are unbounded in both directions.
+func (a Interval) Div(b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	if v, ok := b.IsPoint(); ok && v == 0 {
+		return Empty()
+	}
+	if b.ContainsZero() {
+		return Top()
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, q := range [4]float64{a.Lo / b.Lo, a.Lo / b.Hi, a.Hi / b.Lo, a.Hi / b.Hi} {
+		if math.IsNaN(q) { // ∞/∞ endpoint: give up precision, stay sound
+			return Top()
+		}
+		lo = math.Min(lo, q)
+		hi = math.Max(hi, q)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Mod is the interval of math.Mod(x, y) over the evaluations that succeed
+// (y ≠ 0): magnitude below both |x| and |y|, sign following x.
+func (a Interval) Mod(b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	if v, ok := b.IsPoint(); ok && v == 0 {
+		return Empty()
+	}
+	supAbs := func(iv Interval) float64 { return math.Max(math.Abs(iv.Lo), math.Abs(iv.Hi)) }
+	bound := math.Min(supAbs(a), supAbs(b))
+	lo, hi := -bound, bound
+	if a.Lo >= 0 {
+		lo = 0
+	}
+	if a.Hi <= 0 {
+		hi = 0
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Pow is the interval of math.Pow(x, y) (both the ^ operator and the pow
+// builtin). For non-negative bases x^y is monotone along each axis, so the
+// endpoint evaluations bound it; a negative base is only handled for a
+// constant non-negative integer exponent (endpoints plus the interior
+// extremum at 0), and widens to Top otherwise — math.Pow yields NaN on
+// negative bases with fractional exponents, which no interval can carry.
+func (a Interval) Pow(b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	candidates := make([]float64, 0, 5)
+	switch {
+	case a.Lo >= 0:
+		candidates = append(candidates,
+			math.Pow(a.Lo, b.Lo), math.Pow(a.Lo, b.Hi),
+			math.Pow(a.Hi, b.Lo), math.Pow(a.Hi, b.Hi))
+	default:
+		n, ok := b.IsPoint()
+		if !ok || n < 0 || n != math.Trunc(n) {
+			return Top()
+		}
+		candidates = append(candidates, math.Pow(a.Lo, n), math.Pow(a.Hi, n))
+		if a.ContainsZero() {
+			candidates = append(candidates, math.Pow(0, n))
+		}
+	}
+	lo := math.Inf(1)
+	hi := math.Inf(-1)
+	for _, c := range candidates {
+		if math.IsNaN(c) {
+			return Top()
+		}
+		lo = math.Min(lo, c)
+		hi = math.Max(hi, c)
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Abs is the interval of |x|.
+func (iv Interval) Abs() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	if iv.ContainsZero() {
+		return Interval{Lo: 0, Hi: math.Max(math.Abs(iv.Lo), math.Abs(iv.Hi))}
+	}
+	a, b := math.Abs(iv.Lo), math.Abs(iv.Hi)
+	return Interval{Lo: math.Min(a, b), Hi: math.Max(a, b)}
+}
+
+// Floor is the interval of floor(x).
+func (iv Interval) Floor() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Floor(iv.Lo), Hi: math.Floor(iv.Hi)}
+}
+
+// Ceil is the interval of ceil(x).
+func (iv Interval) Ceil() Interval {
+	if iv.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Ceil(iv.Lo), Hi: math.Ceil(iv.Hi)}
+}
+
+// Sqrt is the interval of sqrt(x) over the evaluations that succeed
+// (x >= 0); entirely-negative arguments yield Empty.
+func (iv Interval) Sqrt() Interval {
+	if iv.IsEmpty() || iv.Hi < 0 {
+		return Empty()
+	}
+	return Interval{Lo: math.Sqrt(math.Max(iv.Lo, 0)), Hi: math.Sqrt(iv.Hi)}
+}
+
+// Log2 is the interval of log2(x) over the evaluations that succeed
+// (x > 0); entirely non-positive arguments yield Empty.
+func (iv Interval) Log2() Interval {
+	if iv.IsEmpty() || iv.Hi <= 0 {
+		return Empty()
+	}
+	lo := math.Inf(-1)
+	if iv.Lo > 0 {
+		lo = math.Log2(iv.Lo)
+	}
+	return Interval{Lo: lo, Hi: math.Log2(iv.Hi)}
+}
+
+// MinI is the interval of min(x, y).
+func MinI(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Min(a.Lo, b.Lo), Hi: math.Min(a.Hi, b.Hi)}
+}
+
+// MaxI is the interval of max(x, y).
+func MaxI(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	return Interval{Lo: math.Max(a.Lo, b.Lo), Hi: math.Max(a.Hi, b.Hi)}
+}
+
+// Comparison abstractions: 0/1-valued intervals mirroring the concrete
+// boolVal results.
+
+// Lt abstracts x < y.
+func Lt(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	if a.Hi < b.Lo {
+		return Point(1)
+	}
+	if a.Lo >= b.Hi {
+		return Point(0)
+	}
+	return boolBoth()
+}
+
+// Le abstracts x <= y.
+func Le(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	if a.Hi <= b.Lo {
+		return Point(1)
+	}
+	if a.Lo > b.Hi {
+		return Point(0)
+	}
+	return boolBoth()
+}
+
+// Gt abstracts x > y.
+func Gt(a, b Interval) Interval { return Lt(b, a) }
+
+// Ge abstracts x >= y.
+func Ge(a, b Interval) Interval { return Le(b, a) }
+
+// Eq abstracts x == y.
+func Eq(a, b Interval) Interval {
+	if a.IsEmpty() || b.IsEmpty() {
+		return Empty()
+	}
+	av, aok := a.IsPoint()
+	bv, bok := b.IsPoint()
+	if aok && bok && av == bv {
+		return Point(1)
+	}
+	if Meet(a, b).IsEmpty() {
+		return Point(0)
+	}
+	return boolBoth()
+}
+
+// Ne abstracts x != y.
+func Ne(a, b Interval) Interval {
+	eq := Eq(a, b)
+	if eq.IsEmpty() {
+		return Empty()
+	}
+	return eq.Not()
+}

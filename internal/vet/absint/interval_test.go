@@ -1,0 +1,191 @@
+package absint_test
+
+import (
+	"math"
+	"testing"
+
+	"harmony/internal/vet/absint"
+)
+
+func eq(a, b absint.Interval) bool {
+	if a.IsEmpty() || b.IsEmpty() {
+		return a.IsEmpty() && b.IsEmpty()
+	}
+	return a.Lo == b.Lo && a.Hi == b.Hi
+}
+
+func TestIntervalBasics(t *testing.T) {
+	if !absint.Empty().IsEmpty() {
+		t.Error("Empty() is not empty")
+	}
+	if absint.Top().IsEmpty() {
+		t.Error("Top() is empty")
+	}
+	if v, ok := absint.Point(3).IsPoint(); !ok || v != 3 {
+		t.Errorf("Point(3).IsPoint() = %v, %v", v, ok)
+	}
+	if _, ok := absint.Of(1, 2).IsPoint(); ok {
+		t.Error("[1,2] reported as a point")
+	}
+	if _, ok := absint.Empty().IsPoint(); ok {
+		t.Error("empty interval reported as a point")
+	}
+	iv := absint.Of(-1, 4)
+	for _, c := range []struct {
+		v    float64
+		want bool
+	}{{-1, true}, {4, true}, {0, true}, {-1.5, false}, {5, false}} {
+		if got := iv.Contains(c.v); got != c.want {
+			t.Errorf("[-1,4].Contains(%g) = %v", c.v, got)
+		}
+	}
+	if absint.Empty().Contains(0) {
+		t.Error("empty interval contains 0")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	for _, c := range []struct {
+		iv   absint.Interval
+		want string
+	}{
+		{absint.Point(3), "3"},
+		{absint.Of(1, 2), "[1, 2]"},
+		{absint.Empty(), "(none)"},
+		{absint.Top(), "[-Inf, +Inf]"},
+	} {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	if got := absint.FromValues([]float64{3, -1, 7}); !eq(got, absint.Of(-1, 7)) {
+		t.Errorf("FromValues = %v", got)
+	}
+	if !absint.FromValues(nil).IsEmpty() {
+		t.Error("FromValues(nil) is not empty")
+	}
+}
+
+func TestJoinMeet(t *testing.T) {
+	a, b := absint.Of(0, 2), absint.Of(5, 9)
+	if got := absint.Join(a, b); !eq(got, absint.Of(0, 9)) {
+		t.Errorf("Join = %v", got)
+	}
+	if got := absint.Meet(a, b); !got.IsEmpty() {
+		t.Errorf("Meet of disjoint intervals = %v", got)
+	}
+	if got := absint.Meet(absint.Of(0, 6), b); !eq(got, absint.Of(5, 6)) {
+		t.Errorf("Meet = %v", got)
+	}
+	if got := absint.Join(absint.Empty(), a); !eq(got, a) {
+		t.Errorf("Join with bottom = %v", got)
+	}
+	if got := absint.Meet(absint.Empty(), a); !got.IsEmpty() {
+		t.Errorf("Meet with bottom = %v", got)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	for _, c := range []struct {
+		iv   absint.Interval
+		want absint.Truth
+	}{
+		{absint.Point(0), absint.TruthFalse},
+		{absint.Point(2), absint.TruthTrue},
+		{absint.Of(1, 5), absint.TruthTrue},
+		{absint.Of(-3, -1), absint.TruthTrue},
+		{absint.Of(-1, 1), absint.TruthUnknown},
+		{absint.Of(0, 1), absint.TruthUnknown},
+		{absint.Empty(), absint.TruthUnknown},
+	} {
+		if got := c.iv.Truth(); got != c.want {
+			t.Errorf("Truth(%v) = %v, want %v", c.iv, got, c.want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	inf := math.Inf(1)
+	for _, c := range []struct {
+		name string
+		got  absint.Interval
+		want absint.Interval
+	}{
+		{"add", absint.Of(1, 2).Add(absint.Of(10, 20)), absint.Of(11, 22)},
+		{"add-opposite-inf", absint.Top().Add(absint.Top()), absint.Top()},
+		{"sub", absint.Of(1, 2).Sub(absint.Of(10, 20)), absint.Of(-19, -8)},
+		{"neg", absint.Of(-1, 5).Neg(), absint.Of(-5, 1)},
+		{"mul", absint.Of(-1, 2).Mul(absint.Of(3, 4)), absint.Of(-4, 8)},
+		{"mul-neg-neg", absint.Of(-3, -2).Mul(absint.Of(-5, -4)), absint.Of(8, 15)},
+		{"mul-zero-inf", absint.Point(0).Mul(absint.Top()), absint.Point(0)},
+		{"div", absint.Of(10, 20).Div(absint.Of(2, 5)), absint.Of(2, 10)},
+		{"div-by-zero-point", absint.Point(1).Div(absint.Point(0)), absint.Empty()},
+		{"div-spanning-zero", absint.Point(1).Div(absint.Of(-1, 1)), absint.Top()},
+		{"mod", absint.Of(3, 100).Mod(absint.Of(1, 7)), absint.Of(0, 7)},
+		{"mod-neg", absint.Of(-100, -3).Mod(absint.Of(1, 7)), absint.Of(-7, 0)},
+		{"mod-small-x", absint.Of(-2, 2).Mod(absint.Of(5, 9)), absint.Of(-2, 2)},
+		{"mod-by-zero-point", absint.Of(1, 2).Mod(absint.Point(0)), absint.Empty()},
+		{"pow", absint.Of(2, 3).Pow(absint.Of(2, 3)), absint.Of(4, 27)},
+		{"pow-frac-base", absint.Of(0.25, 0.5).Pow(absint.Of(1, 2)), absint.Of(0.0625, 0.5)},
+		{"pow-neg-base-int-exp", absint.Of(-3, 2).Pow(absint.Point(2)), absint.Of(0, 9)},
+		{"pow-neg-base-odd-exp", absint.Of(-3, -2).Pow(absint.Point(3)), absint.Of(-27, -8)},
+		{"pow-neg-base-range-exp", absint.Of(-3, 2).Pow(absint.Of(1, 2)), absint.Top()},
+		{"abs", absint.Of(-3, 2).Abs(), absint.Of(0, 3)},
+		{"abs-neg", absint.Of(-3, -2).Abs(), absint.Of(2, 3)},
+		{"floor", absint.Of(1.2, 2.9).Floor(), absint.Of(1, 2)},
+		{"ceil", absint.Of(1.2, 2.9).Ceil(), absint.Of(2, 3)},
+		{"sqrt", absint.Of(4, 9).Sqrt(), absint.Of(2, 3)},
+		{"sqrt-clamped", absint.Of(-4, 9).Sqrt(), absint.Of(0, 3)},
+		{"sqrt-all-neg", absint.Of(-4, -1).Sqrt(), absint.Empty()},
+		{"log2", absint.Of(2, 8).Log2(), absint.Of(1, 3)},
+		{"log2-clamped", absint.Of(0, 8).Log2(), absint.Of(-inf, 3)},
+		{"log2-all-nonpos", absint.Of(-4, 0).Log2(), absint.Empty()},
+		{"min", absint.MinI(absint.Of(1, 5), absint.Of(3, 4)), absint.Of(1, 4)},
+		{"max", absint.MaxI(absint.Of(1, 5), absint.Of(3, 4)), absint.Of(3, 5)},
+		{"empty-propagates", absint.Empty().Add(absint.Point(1)), absint.Empty()},
+	} {
+		if !eq(c.got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	both := absint.Of(0, 1)
+	for _, c := range []struct {
+		name string
+		got  absint.Interval
+		want absint.Interval
+	}{
+		{"lt-true", absint.Lt(absint.Of(1, 2), absint.Of(3, 4)), absint.Point(1)},
+		{"lt-false", absint.Lt(absint.Of(3, 4), absint.Of(1, 3)), absint.Point(0)},
+		{"lt-unknown", absint.Lt(absint.Of(1, 5), absint.Of(3, 4)), both},
+		{"le-boundary", absint.Le(absint.Of(1, 3), absint.Of(3, 4)), absint.Point(1)},
+		{"gt", absint.Gt(absint.Of(5, 6), absint.Of(1, 2)), absint.Point(1)},
+		{"ge", absint.Ge(absint.Of(1, 2), absint.Of(3, 4)), absint.Point(0)},
+		{"eq-points", absint.Eq(absint.Point(2), absint.Point(2)), absint.Point(1)},
+		{"eq-disjoint", absint.Eq(absint.Of(1, 2), absint.Of(3, 4)), absint.Point(0)},
+		{"eq-overlap", absint.Eq(absint.Of(1, 3), absint.Of(2, 4)), both},
+		{"ne-points", absint.Ne(absint.Point(2), absint.Point(2)), absint.Point(0)},
+		{"ne-disjoint", absint.Ne(absint.Of(1, 2), absint.Of(3, 4)), absint.Point(1)},
+	} {
+		if !eq(c.got, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if got := absint.Point(0).Not(); !eq(got, absint.Point(1)) {
+		t.Errorf("!0 = %v", got)
+	}
+	if got := absint.Of(2, 3).Not(); !eq(got, absint.Point(0)) {
+		t.Errorf("![2,3] = %v", got)
+	}
+	if got := absint.Of(-1, 1).Not(); !eq(got, absint.Of(0, 1)) {
+		t.Errorf("![-1,1] = %v", got)
+	}
+}

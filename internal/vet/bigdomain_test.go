@@ -1,0 +1,68 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestVetBigDomain is the acceptance test for the interval rewrite: a
+// spec whose variable domain (workerNodes 1..10000) is far beyond the
+// maxBindings enumeration budget still gets real dominance, div-zero and
+// range findings — plus the analysis-skipped markers for the degraded
+// witness searches — instead of a silent skip, and quickly.
+func TestVetBigDomain(t *testing.T) {
+	var vals strings.Builder
+	for i := 1; i <= 10000; i++ {
+		fmt.Fprintf(&vals, "%d ", i)
+	}
+	domain := strings.TrimSpace(vals.String())
+	src := `harmonyBundle big:1 sweep {
+	{a
+		{node w * {memory 8} {seconds {300 / (workerNodes - 5000)}} {replicate workerNodes}}
+		{friction {workerNodes - 20000}}
+		{variable workerNodes {` + domain + `}}
+	}
+	{b
+		{node w * {memory 8} {seconds {300 / (workerNodes - 5000)}} {replicate workerNodes}}
+		{friction {workerNodes - 20000}}
+		{variable workerNodes {` + domain + `}}
+	}
+}
+`
+	rep := Script(src, Options{})
+	got := make(map[string][]Diagnostic)
+	for _, d := range rep.Diags {
+		got[d.Check] = append(got[d.Check], d)
+	}
+	// The divisor workerNodes-5000 spans zero; enumeration cannot visit
+	// 10000 bindings, so the interval fallback must still warn.
+	if len(got["div-zero"]) == 0 {
+		t.Errorf("no div-zero finding on the 1..10000 domain: %v", rep.Diags)
+	}
+	// friction is provably negative (at most -10000) for every binding:
+	// the interval analysis upgrades this to an error, no witness needed.
+	found := false
+	for _, d := range got["negative-tag"] {
+		if d.Severity == SevError && strings.Contains(d.Message, "friction") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no negative-tag error for the always-negative friction: %v", rep.Diags)
+	}
+	// Option b's requirements are identical to a's: dominance analysis is
+	// signature-based and must not care about domain size.
+	if len(got["dominated-option"]) == 0 {
+		t.Errorf("no dominated-option finding: %v", rep.Diags)
+	}
+	// The degraded witness searches must be visible, not silent.
+	if len(got["analysis-skipped"]) == 0 {
+		t.Errorf("no analysis-skipped marker: %v", rep.Diags)
+	}
+	for _, d := range got["analysis-skipped"] {
+		if d.Severity != SevInfo {
+			t.Errorf("analysis-skipped severity = %v, want info", d.Severity)
+		}
+	}
+}

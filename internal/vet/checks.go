@@ -2,11 +2,13 @@ package vet
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"harmony/internal/cluster"
 	"harmony/internal/rsl"
+	"harmony/internal/vet/absint"
 )
 
 // defaultSwitchBandwidthMbps mirrors the SP-2 switch assumed by the
@@ -14,7 +16,10 @@ import (
 const defaultSwitchBandwidthMbps = cluster.DefaultSwitchBandwidthMbps
 
 // maxBindings caps the variable-domain cross product the analyzer is
-// willing to enumerate; beyond it, domain-dependent checks are skipped.
+// willing to enumerate for exact witnesses. Beyond it the domain-dependent
+// checks no longer skip silently: they fall back to the interval abstract
+// interpreter (package absint), which is sound for any domain size, and an
+// analysis-skipped info diagnostic records the lost witness precision.
 const maxBindings = 4096
 
 // analysis carries the per-script state shared by all checks.
@@ -68,6 +73,13 @@ type optScope struct {
 	// localMins binds each granted-resource name (local.memory,
 	// local.seconds) to its minimal value, for best-case evaluation.
 	localMins rsl.MapEnv
+	// ienvVars is the interval environment of the declared variables
+	// (each bound to the convex hull of its domain).
+	ienvVars absint.MapEnv
+	// ienvLocals extends ienvVars with the granted-resource names, each
+	// bound to [min, +inf): a grant meets the request's minimum but is
+	// otherwise unbounded, so interval claims stay sound for any grant.
+	ienvLocals absint.MapEnv
 }
 
 func (a *analysis) checkBundle(b *rsl.BundleSpec) {
@@ -91,6 +103,10 @@ func (a *analysis) newScope(b *rsl.BundleSpec, opt *rsl.OptionSpec) *optScope {
 	for _, v := range opt.Variables {
 		s.vars[v.Name] = v.Values
 	}
+	s.ienvVars = make(absint.MapEnv, len(s.vars))
+	for n, vals := range s.vars {
+		s.ienvVars[n] = absint.FromValues(vals)
+	}
 	for i := range opt.Nodes {
 		spec := &opt.Nodes[i]
 		s.locals[spec.LocalName] = true
@@ -99,18 +115,40 @@ func (a *analysis) newScope(b *rsl.BundleSpec, opt *rsl.OptionSpec) *optScope {
 	// link formulas like Figure 3's can be bounded from below.
 	for i := range opt.Nodes {
 		spec := &opt.Nodes[i]
-		mem, okM := s.minOfTag(spec, "memory")
+		mem, _, _, okM := s.minOfTag(spec, "memory")
 		if !okM {
 			mem = 0
 		}
-		sec, okS := s.minOfTag(spec, "seconds")
+		sec, _, _, okS := s.minOfTag(spec, "seconds")
 		if !okS {
 			sec = 0
 		}
 		s.localMins[spec.LocalName+".memory"] = mem
 		s.localMins[spec.LocalName+".seconds"] = sec
 	}
+	s.ienvLocals = make(absint.MapEnv, len(s.ienvVars)+len(s.localMins))
+	for n, iv := range s.ienvVars {
+		s.ienvLocals[n] = iv
+	}
+	for n, v := range s.localMins {
+		s.ienvLocals[n] = absint.Of(v, math.Inf(1))
+	}
 	return s
+}
+
+// ienv selects the interval environment matching an expression's scope.
+func (s *optScope) ienv(allowLocals bool) absint.MapEnv {
+	if allowLocals {
+		return s.ienvLocals
+	}
+	return s.ienvVars
+}
+
+// skipped records that a witness-producing check degraded to interval
+// analysis because the variable-domain cross product exceeds maxBindings.
+func (s *optScope) skipped(check string, pos rsl.Pos, ctx string) {
+	s.diag("analysis-skipped", SevInfo, pos,
+		"%s: variable domains exceed %d combinations; the %s check fell back to interval analysis", ctx, maxBindings, check)
 }
 
 func (s *optScope) diag(check string, sev Severity, pos rsl.Pos, format string, args ...any) {
@@ -236,7 +274,7 @@ func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bo
 		s.diag("unbound-var", SevError, pos, "%s: expression references unbound name %q%s", ctx, name, hint)
 	}
 
-	walkExpr(e, func(x rsl.Expr) {
+	rsl.Walk(e, func(x rsl.Expr) {
 		switch n := x.(type) {
 		case *rsl.CondExpr:
 			if v, ok := constVal(n.Cond); ok {
@@ -246,6 +284,17 @@ func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bo
 				}
 				s.diag("const-ternary", SevWarn, pos,
 					"%s: ternary condition %s is constant; the %s branch always wins", ctx, n.Cond, branch)
+				return
+			}
+			// The condition varies syntactically but may still be decided
+			// by the admissible domains alone.
+			switch absint.Eval(n.Cond, s.ienv(allowLocals)).Val.Truth() {
+			case absint.TruthTrue:
+				s.diag("const-ternary", SevWarn, pos,
+					"%s: ternary condition %s is true for every admissible binding; the then branch always wins", ctx, n.Cond)
+			case absint.TruthFalse:
+				s.diag("const-ternary", SevWarn, pos,
+					"%s: ternary condition %s is false for every admissible binding; the else branch always wins", ctx, n.Cond)
 			}
 		case *rsl.BinaryExpr:
 			if n.Op != "/" && n.Op != "%" {
@@ -258,6 +307,15 @@ func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bo
 				}
 				return
 			}
+			div := absint.Eval(n.R, s.ienv(allowLocals)).Val
+			if v, ok := div.IsPoint(); ok && v == 0 {
+				s.diag("div-zero", SevError, pos,
+					"%s: divisor of %q is zero for every admissible binding", ctx, n.String())
+				return
+			}
+			if !div.ContainsZero() {
+				return // interval analysis proves the divisor nonzero
+			}
 			base := rsl.MapEnv(nil)
 			if allowLocals {
 				base = s.localMins
@@ -266,7 +324,7 @@ func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bo
 			if !analyzable {
 				return
 			}
-			s.forEach(names, base, func(env rsl.MapEnv) bool {
+			complete := s.forEach(names, base, func(env rsl.MapEnv) bool {
 				v, err := n.R.Eval(env)
 				if err == nil && v == 0 {
 					s.diag("div-zero", SevWarn, pos,
@@ -275,13 +333,20 @@ func (s *optScope) checkExpr(e rsl.Expr, pos rsl.Pos, ctx string, allowLocals bo
 				}
 				return true
 			})
+			if !complete {
+				s.skipped("div-zero", pos, ctx)
+				s.diag("div-zero", SevWarn, pos,
+					"%s: divisor of %q may be zero (admissible range %s)", ctx, n.String(), div)
+			}
 		}
 	})
 }
 
-// checkRange verifies a quantity that must be at least minAllowed:
-// an error when the expression is constant and out of range, a warning
-// when some admissible variable binding puts it out of range.
+// checkRange verifies a quantity that must be at least minAllowed: an
+// error when the expression is provably out of range for every admissible
+// binding (constant, or interval-bounded below minAllowed), a warning when
+// some admissible variable binding puts it out of range. The interval
+// analysis also proves many expressions in range, skipping enumeration.
 func (s *optScope) checkRange(e rsl.Expr, pos rsl.Pos, ctx string, minAllowed float64, allowLocals bool) {
 	if e == nil {
 		return
@@ -293,6 +358,17 @@ func (s *optScope) checkRange(e rsl.Expr, pos rsl.Pos, ctx string, minAllowed fl
 		}
 		return
 	}
+	rng := absint.Eval(e, s.ienv(allowLocals)).Val
+	if !rng.IsEmpty() {
+		if rng.Hi < minAllowed {
+			s.diag("negative-tag", SevError, pos,
+				"%s is at most %g for every admissible binding; it must be at least %g", ctx, rng.Hi, minAllowed)
+			return
+		}
+		if rng.Lo >= minAllowed {
+			return // interval analysis proves the quantity in range
+		}
+	}
 	base := rsl.MapEnv(nil)
 	if allowLocals {
 		base = s.localMins
@@ -301,7 +377,7 @@ func (s *optScope) checkRange(e rsl.Expr, pos rsl.Pos, ctx string, minAllowed fl
 	if !analyzable {
 		return
 	}
-	s.forEach(names, base, func(env rsl.MapEnv) bool {
+	complete := s.forEach(names, base, func(env rsl.MapEnv) bool {
 		v, err := e.Eval(env)
 		if err == nil && v < minAllowed {
 			s.diag("negative-tag", SevWarn, pos,
@@ -310,6 +386,11 @@ func (s *optScope) checkRange(e rsl.Expr, pos rsl.Pos, ctx string, minAllowed fl
 		}
 		return true
 	})
+	if !complete {
+		s.skipped("negative-tag", pos, ctx)
+		s.diag("negative-tag", SevWarn, pos,
+			"%s may fall below %g (admissible range %s); it must be at least %g", ctx, minAllowed, rng, minAllowed)
+	}
 }
 
 func (s *optScope) checkPerformance(opt *rsl.OptionSpec) {
@@ -330,6 +411,31 @@ func (s *optScope) checkPerformance(opt *rsl.OptionSpec) {
 				"performance point {%g %g}: expected time %g is negative", pt.X, pt.Y, pt.Y)
 		}
 	}
+
+	// perf-model-range: Section 4.2 interpolates expected time over the
+	// requested node count, so a model whose node-count span misses every
+	// count the option can request only ever extrapolates.
+	if len(opt.Nodes) == 0 {
+		return
+	}
+	total := absint.Point(0)
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		rep := absint.Point(1)
+		if spec.Replicate != nil {
+			rv := absint.Eval(spec.Replicate, s.ienvVars).Val
+			if rv.IsEmpty() {
+				return // unanalyzable replicate; unbound-var reports it
+			}
+			rep = rv
+		}
+		total = total.Add(rep)
+	}
+	lo, hi := opt.Performance[0].X, opt.Performance[len(opt.Performance)-1].X
+	if absint.Meet(total, absint.Of(lo, hi)).IsEmpty() {
+		s.diag("perf-model-range", SevWarn, opt.PerformancePos,
+			"performance model covers %g to %g node(s), but the option always requests %s; every prediction extrapolates", lo, hi, total)
+	}
 }
 
 // checkCapacity verifies the option against declared harmonyNode
@@ -343,7 +449,11 @@ func (s *optScope) checkCapacity(opt *rsl.OptionSpec) {
 	}
 	for i := range opt.Nodes {
 		spec := &opt.Nodes[i]
-		memMin, memOK := s.minOfTag(spec, "memory")
+		memMin, _, memBailed, memOK := s.minOfTag(spec, "memory")
+		if memBailed {
+			s.skipped("node-unsatisfiable", spec.Tags["memory"].Pos,
+				fmt.Sprintf("node %q tag \"memory\"", spec.LocalName))
+		}
 		var osWant, hostWant string
 		if tag, ok := spec.Tags["os"]; ok && tag.IsString {
 			osWant = tag.Str
@@ -374,7 +484,11 @@ func (s *optScope) checkCapacity(opt *rsl.OptionSpec) {
 			continue
 		}
 		if spec.Replicate != nil && spec.HostPattern == "*" {
-			repMin, repOK := s.evalMin(spec.Replicate, nil)
+			repMin, _, repBailed, repOK := s.evalMin(spec.Replicate, nil)
+			if repBailed {
+				s.skipped("replicate-unsatisfiable", spec.ReplicatePos,
+					fmt.Sprintf("node %q replicate", spec.LocalName))
+			}
 			if repOK && repMin > float64(eligible) {
 				s.diag("replicate-unsatisfiable", SevError, spec.ReplicatePos,
 					"node %q needs at least %g distinct hosts, but only %d declared node(s) qualify",
@@ -385,14 +499,22 @@ func (s *optScope) checkCapacity(opt *rsl.OptionSpec) {
 
 	for i := range opt.Links {
 		ls := &opt.Links[i]
-		if bwMin, ok := s.evalMin(ls.Bandwidth, s.localMins); ok && bwMin > s.a.switchBW {
+		bwMin, _, bwBailed, ok := s.evalMin(ls.Bandwidth, s.localMins)
+		if bwBailed {
+			s.skipped("link-bandwidth", ls.Pos, fmt.Sprintf("link %s-%s bandwidth", ls.A, ls.B))
+		}
+		if ok && bwMin > s.a.switchBW {
 			s.diag("link-bandwidth", SevWarn, ls.Pos,
 				"link %s-%s needs at least %g Mbps; the interconnect provides %g Mbps",
 				ls.A, ls.B, bwMin, s.a.switchBW)
 		}
 	}
 	if opt.Communication != nil {
-		if commMin, ok := s.evalMin(opt.Communication, s.localMins); ok && commMin > s.a.switchBW {
+		commMin, _, commBailed, ok := s.evalMin(opt.Communication, s.localMins)
+		if commBailed {
+			s.skipped("link-bandwidth", opt.CommunicationPos, "communication")
+		}
+		if ok && commMin > s.a.switchBW {
 			s.diag("link-bandwidth", SevWarn, opt.CommunicationPos,
 				"communication needs at least %g Mbps; the interconnect provides %g Mbps",
 				commMin, s.a.switchBW)
@@ -509,29 +631,6 @@ func requirementSignature(opt *rsl.OptionSpec) string {
 
 // --- expression utilities ---
 
-// walkExpr visits every node of an expression tree.
-func walkExpr(e rsl.Expr, fn func(rsl.Expr)) {
-	if e == nil {
-		return
-	}
-	fn(e)
-	switch n := e.(type) {
-	case *rsl.UnaryExpr:
-		walkExpr(n.X, fn)
-	case *rsl.BinaryExpr:
-		walkExpr(n.L, fn)
-		walkExpr(n.R, fn)
-	case *rsl.CondExpr:
-		walkExpr(n.Cond, fn)
-		walkExpr(n.Then, fn)
-		walkExpr(n.Else, fn)
-	case *rsl.CallExpr:
-		for _, a := range n.Args {
-			walkExpr(a, fn)
-		}
-	}
-}
-
 // constVal folds an expression with no free variables to its value.
 func constVal(e rsl.Expr) (float64, bool) {
 	if e == nil || len(e.Vars(nil)) > 0 {
@@ -619,15 +718,19 @@ func (s *optScope) forEach(names []string, base rsl.MapEnv, fn func(env rsl.MapE
 	return true
 }
 
-// evalMin returns the minimum of e over every admissible variable binding
-// (locals bound by base). ok is false when nothing evaluates.
-func (s *optScope) evalMin(e rsl.Expr, base rsl.MapEnv) (float64, bool) {
+// evalMin returns a sound lower bound for e over every admissible variable
+// binding (locals bound by base): the exact enumerated minimum when the
+// domain cross product fits under maxBindings (exact=true), the interval
+// lower bound otherwise (bailed=true; locals are then taken as unbounded
+// above their minimums). ok is false when e references unresolvable names
+// or provably never evaluates.
+func (s *optScope) evalMin(e rsl.Expr, base rsl.MapEnv) (lo float64, exact, bailed, ok bool) {
 	if e == nil {
-		return 0, false
+		return 0, false, false, false
 	}
 	names, analyzable := s.scopeVarsOf(e, base)
 	if !analyzable {
-		return 0, false
+		return 0, false, false, false
 	}
 	minV, found := 0.0, false
 	complete := s.forEach(names, base, func(env rsl.MapEnv) bool {
@@ -637,17 +740,21 @@ func (s *optScope) evalMin(e rsl.Expr, base rsl.MapEnv) (float64, bool) {
 		}
 		return true
 	})
-	if !complete {
-		return 0, false
+	if complete {
+		return minV, true, false, found
 	}
-	return minV, found
+	val := absint.Eval(e, s.ienv(len(base) > 0)).Val
+	if val.IsEmpty() {
+		return 0, false, true, false
+	}
+	return val.Lo, false, true, true
 }
 
 // minOfTag evaluates the best-case (minimal) value of a numeric node tag.
-func (s *optScope) minOfTag(spec *rsl.NodeSpec, tagName string) (float64, bool) {
-	tag, ok := spec.Tags[tagName]
-	if !ok || tag.IsString || tag.Expr == nil {
-		return 0, false
+func (s *optScope) minOfTag(spec *rsl.NodeSpec, tagName string) (lo float64, exact, bailed, ok bool) {
+	tag, tagOK := spec.Tags[tagName]
+	if !tagOK || tag.IsString || tag.Expr == nil {
+		return 0, false, false, false
 	}
 	return s.evalMin(tag.Expr, nil)
 }

@@ -1,0 +1,142 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// SARIF renders one or more reports as a SARIF 2.1.0 log with a single
+// run, so findings plug into code-review tooling (GitHub code scanning,
+// VS Code SARIF viewers). Every registered check appears as a rule;
+// diagnostics become results pointing at the spec file via
+// Report.File (or Diagnostic.File for workload findings).
+func SARIF(reports []*Report) ([]byte, error) {
+	rules := make([]sarifRule, 0, len(checkRegistry))
+	ruleIndex := make(map[string]int, len(checkRegistry))
+	for i, c := range checkRegistry {
+		rules = append(rules, sarifRule{
+			ID:               c.ID,
+			ShortDescription: sarifText{c.Doc},
+			DefaultConfig:    sarifConfig{Level: sarifLevel(c.Severity)},
+		})
+		ruleIndex[c.ID] = i
+	}
+	results := make([]sarifResult, 0)
+	for _, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		for _, d := range rep.Diags {
+			uri := d.File
+			if uri == "" {
+				uri = rep.File
+			}
+			msg := d.Message
+			switch {
+			case d.Bundle != "" && d.Option != "":
+				msg = d.Bundle + "/" + d.Option + ": " + msg
+			case d.Bundle != "":
+				msg = d.Bundle + ": " + msg
+			}
+			res := sarifResult{
+				RuleID:  d.Check,
+				Level:   sarifLevel(d.Severity),
+				Message: sarifText{msg},
+			}
+			if idx, ok := ruleIndex[d.Check]; ok {
+				res.RuleIndex = &idx
+			}
+			loc := sarifLocation{}
+			loc.Physical.Artifact.URI = uri
+			loc.Physical.Region.StartLine = d.Line
+			loc.Physical.Region.StartColumn = d.Col
+			res.Locations = []sarifLocation{loc}
+			results = append(results, res)
+		}
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "harmonyctl-vet",
+				InformationURI: "https://github.com/harmony/harmony/blob/main/docs/RSL.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// sarifLevel maps a vet severity onto the SARIF level vocabulary.
+func sarifLevel(s Severity) string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarn:
+		return "warning"
+	}
+	return "note"
+}
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string      `json:"id"`
+	ShortDescription sarifText   `json:"shortDescription"`
+	DefaultConfig    sarifConfig `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex *int            `json:"ruleIndex,omitempty"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations,omitempty"`
+}
+
+type sarifLocation struct {
+	Physical struct {
+		Artifact struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn,omitempty"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}

@@ -71,6 +71,10 @@ func (s *Severity) UnmarshalText(b []byte) error {
 type Diagnostic struct {
 	// Check is the stable check identifier (e.g. "unbound-var").
 	Check string `json:"check"`
+	// File names the source spec for diagnostics that aggregate several
+	// files (the workload checks); empty in single-script reports, where
+	// Report.File already identifies the source.
+	File string `json:"file,omitempty"`
 	// Severity classifies the finding.
 	Severity Severity `json:"severity"`
 	// Line and Col locate the finding in the source (1-based; Col may be 0
@@ -92,6 +96,10 @@ func (d Diagnostic) Pos() rsl.Pos { return rsl.Pos{Line: d.Line, Col: d.Col} }
 //	3:14: error: [unbound-var] where/DS: expression references unbound name "x"
 func (d Diagnostic) String() string {
 	var sb strings.Builder
+	if d.File != "" {
+		sb.WriteString(d.File)
+		sb.WriteString(":")
+	}
 	sb.WriteString(d.Pos().String())
 	sb.WriteString(": ")
 	sb.WriteString(d.Severity.String())
@@ -140,10 +148,13 @@ func (r *Report) FirstError() (Diagnostic, bool) {
 	return Diagnostic{}, false
 }
 
-// Sort orders diagnostics by position, then check ID.
+// Sort orders diagnostics by file, position, then check ID.
 func (r *Report) Sort() {
 	sort.SliceStable(r.Diags, func(i, j int) bool {
 		a, b := r.Diags[i], r.Diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
@@ -205,6 +216,12 @@ var checkRegistry = []CheckInfo{
 	{"negative-tag", SevError, "a quantity that must be non-negative (seconds, memory, communication, granularity, friction, bandwidth) or at least one (replicate) is constant and out of range (or, as a warning, is out of range for some variable value)"},
 	{"dup-node-decl", SevError, "the same hostname is declared by more than one harmonyNode"},
 	{"node-decl-capacity", SevWarn, "a harmonyNode declares no memory, so every memory-bearing request will fail to match on it"},
+	{"analysis-skipped", SevInfo, "variable domains were too large to enumerate, so a witness-producing check fell back to interval analysis (still sound, but without concrete example bindings)"},
+	{"perf-model-range", SevWarn, "a performance model's node-count span is disjoint from every node count the option can request, so predictions always extrapolate"},
+	{"workload-memory", SevError, "the bundles' combined best-case memory demand exceeds the cluster's total memory, so no allocation of the whole workload can succeed"},
+	{"workload-nodes", SevError, "the bundles' combined best-case exclusive-node demand exceeds the cluster's node count"},
+	{"workload-host", SevError, "the memory the bundles pin to one specific host exceeds that host's capacity"},
+	{"workload-bandwidth", SevWarn, "the bundles' combined best-case bandwidth demand exceeds the interconnect capacity"},
 }
 
 // Script parses, decodes and analyzes an RSL script, returning every

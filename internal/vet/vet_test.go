@@ -28,6 +28,8 @@ var wantChecks = map[string][]string{
 	"decode.rsl":    {"decode"},
 	"dupnode.rsl":   {"dup-node-decl", "node-decl-capacity"},
 	"bandwidth.rsl": {"link-bandwidth"},
+	"skipped.rsl":   {"analysis-skipped", "div-zero", "negative-tag"},
+	"perfrange.rsl": {"perf-model-range"},
 	"clean.rsl":     {},
 }
 
@@ -43,7 +45,6 @@ func TestGolden(t *testing.T) {
 	for _, c := range Checks() {
 		registered[c.ID] = true
 	}
-	covered := make(map[string]bool)
 	for _, file := range files {
 		base := filepath.Base(file)
 		t.Run(strings.TrimSuffix(base, ".rsl"), func(t *testing.T) {
@@ -60,7 +61,6 @@ func TestGolden(t *testing.T) {
 			got := make(map[string]bool)
 			for _, d := range rep.Diags {
 				got[d.Check] = true
-				covered[d.Check] = true
 				if !registered[d.Check] {
 					t.Errorf("diagnostic uses unregistered check %q", d.Check)
 				}
@@ -98,13 +98,132 @@ func TestGolden(t *testing.T) {
 			}
 		})
 	}
+}
+
+// workloadCorpus loads the joint-analysis corpus: a cluster declaration
+// plus bundle specs that are individually fine but jointly infeasible.
+func workloadCorpus(t *testing.T) []WorkloadSpec {
+	t.Helper()
+	var specs []WorkloadSpec
+	for _, name := range []string{"cluster.rsl", "a.rsl", "b.rsl"} {
+		src, err := os.ReadFile(filepath.Join("testdata", "workload", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, WorkloadSpec{File: name, Src: string(src)})
+	}
+	return specs
+}
+
+func TestWorkloadGolden(t *testing.T) {
+	specs := workloadCorpus(t)
+
+	// Each bundle spec alone must vet clean against the cluster — the
+	// whole point of the corpus is that only the joint analysis objects.
+	_, decls := decodeAll(t, specs[0].Src)
+	for _, s := range specs[1:] {
+		if rep := Script(s.Src, Options{ExtraNodes: decls}); len(rep.Diags) != 0 {
+			t.Errorf("%s alone should be clean, got %v", s.File, rep.Diags)
+		}
+	}
+
+	rep := Workload(specs, Options{})
+	for _, want := range []string{"workload-memory", "workload-nodes", "workload-host", "workload-bandwidth"} {
+		found := false
+		for _, d := range rep.Diags {
+			if d.Check == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("expected a %q diagnostic, got %v", want, rep.Diags)
+		}
+	}
+	for _, d := range rep.Diags {
+		if d.File == "" || d.Line <= 0 {
+			t.Errorf("workload diagnostic lacks file or line: %+v", d)
+		}
+	}
+
+	var sb strings.Builder
+	for _, d := range rep.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	golden := filepath.Join("testdata", "workload", "workload.golden")
 	if *update {
+		if err := os.WriteFile(golden, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
 		return
 	}
-	// The corpus should exercise every registered check.
-	for id := range registered {
-		if !covered[id] {
-			t.Errorf("check %q is exercised by no testdata spec", id)
+	wantOut, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test -run Workload -update): %v", err)
+	}
+	if sb.String() != string(wantOut) {
+		t.Errorf("workload report mismatch\n--- got ---\n%s--- want ---\n%s", sb.String(), wantOut)
+	}
+}
+
+// decodeAll leniently decodes a script's bundles and declarations for
+// test setup.
+func decodeAll(t *testing.T, src string) ([]*rsl.BundleSpec, []*rsl.NodeDecl) {
+	t.Helper()
+	bundles, decls := decodeLenient(src)
+	return bundles, decls
+}
+
+// TestWorkloadPreDecoded exercises the server path: bundles supplied
+// directly instead of source text.
+func TestWorkloadPreDecoded(t *testing.T) {
+	specs := workloadCorpus(t)
+	_, decls := decodeAll(t, specs[0].Src)
+	var pre []WorkloadSpec
+	for _, s := range specs[1:] {
+		bundles, _ := decodeAll(t, s.Src)
+		pre = append(pre, WorkloadSpec{File: s.File, Bundles: bundles})
+	}
+	rep := Workload(pre, Options{ExtraNodes: decls})
+	if !rep.HasErrors() {
+		t.Fatalf("pre-decoded workload should report errors, got %v", rep.Diags)
+	}
+}
+
+// TestWorkloadEmpty: no declarations in scope means no joint verdicts.
+func TestWorkloadEmpty(t *testing.T) {
+	specs := workloadCorpus(t)
+	if rep := Workload(specs[1:], Options{}); len(rep.Diags) != 0 {
+		t.Errorf("workload without a cluster should be silent, got %v", rep.Diags)
+	}
+	if rep := Workload(nil, Options{}); len(rep.Diags) != 0 {
+		t.Errorf("empty workload should be silent, got %v", rep.Diags)
+	}
+}
+
+// TestRegistryCovered verifies the two corpora (single-script goldens and
+// the workload corpus) jointly exercise every registered check.
+func TestRegistryCovered(t *testing.T) {
+	covered := make(map[string]bool)
+	files, err := filepath.Glob(filepath.Join("testdata", "*.rsl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, file := range files {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range Script(string(src), Options{}).Diags {
+			covered[d.Check] = true
+		}
+	}
+	for _, d := range Workload(workloadCorpus(t), Options{}).Diags {
+		covered[d.Check] = true
+	}
+	for _, c := range Checks() {
+		if !covered[c.ID] {
+			t.Errorf("check %q is exercised by no testdata spec", c.ID)
 		}
 	}
 }

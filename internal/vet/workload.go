@@ -1,0 +1,293 @@
+package vet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"harmony/internal/rsl"
+	"harmony/internal/vet/absint"
+)
+
+// WorkloadSpec is one bundle spec participating in a joint workload
+// analysis: a source file (for diagnostics) and either its pre-decoded
+// bundles (the server's registration path) or raw RSL source to decode.
+type WorkloadSpec struct {
+	// File names the spec in diagnostics.
+	File string
+	// Src is the RSL source; decoded when Bundles is nil. Decode problems
+	// are ignored here — per-spec vetting reports them.
+	Src string
+	// Bundles supplies already-decoded bundles, bypassing Src.
+	Bundles []*rsl.BundleSpec
+}
+
+// Workload jointly analyzes a set of bundle specs against one cluster:
+// even when every spec is individually satisfiable, the set as a whole can
+// be infeasible. For each bundle it computes interval lower bounds on the
+// best case any option allows — total memory, exclusive node count,
+// per-host pinned memory, aggregate bandwidth — and compares the sums
+// against the declared cluster (opts.ExtraNodes plus any harmonyNode
+// commands inside the specs). Lower bounds mean no false alarms: a
+// workload-* finding holds for every option choice and variable binding.
+//
+// Diagnostics carry the file of the last spec — the admission candidate
+// when the server asks whether one more bundle still fits — and the
+// position of that spec's first bundle.
+func Workload(specs []WorkloadSpec, opts Options) *Report {
+	rep := &Report{}
+	decls := append([]*rsl.NodeDecl(nil), opts.ExtraNodes...)
+	type loaded struct {
+		file    string
+		bundles []*rsl.BundleSpec
+	}
+	var work []loaded
+	for _, s := range specs {
+		bundles := s.Bundles
+		if bundles == nil {
+			var ds []*rsl.NodeDecl
+			bundles, ds = decodeLenient(s.Src)
+			decls = append(decls, ds...)
+		}
+		if len(bundles) > 0 {
+			work = append(work, loaded{file: s.File, bundles: bundles})
+		}
+	}
+	if len(decls) == 0 || len(work) == 0 {
+		return rep
+	}
+
+	anchor := work[len(work)-1]
+	file := anchor.file
+	pos := anchor.bundles[0].Pos
+
+	var names []string
+	mem, excl, bw := 0.0, 0.0, 0.0
+	perHost := make(map[string]float64)
+	for _, w := range work {
+		for _, b := range w.bundles {
+			m := bundleDemand(b)
+			names = append(names, fmt.Sprintf("%s:%d", b.App, b.Instance))
+			mem += m.mem
+			excl += m.excl
+			bw += m.bw
+			for h, v := range m.perHost {
+				perHost[h] += v
+			}
+		}
+	}
+
+	capMem, hostMem := 0.0, make(map[string]float64, len(decls))
+	for _, d := range decls {
+		capMem += d.MemoryMB
+		hostMem[d.Hostname] += d.MemoryMB
+	}
+	switchBW := opts.SwitchBandwidthMbps
+	if switchBW <= 0 {
+		switchBW = defaultSwitchBandwidthMbps
+	}
+	who := strings.Join(names, ", ")
+
+	diag := func(check string, sev Severity, format string, args ...any) {
+		rep.add(Diagnostic{
+			Check: check, Severity: sev, File: file,
+			Line: pos.Line, Col: pos.Col,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	if mem > capMem {
+		diag("workload-memory", SevError,
+			"bundles %s demand at least %g MB of memory in their best case, but the cluster provides %g MB across %d node(s)",
+			who, mem, capMem, len(decls))
+	}
+	if excl > float64(len(decls)) {
+		diag("workload-nodes", SevError,
+			"bundles %s demand at least %g exclusive node(s), but the cluster has %d",
+			who, excl, len(decls))
+	}
+	hosts := make([]string, 0, len(perHost))
+	for h := range perHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		have, known := hostMem[h]
+		if !known {
+			continue // per-spec vetting reports unsatisfiable hosts
+		}
+		if perHost[h] > have {
+			diag("workload-host", SevError,
+				"bundles %s pin at least %g MB on host %q, which has %g MB",
+				who, perHost[h], h, have)
+		}
+	}
+	if bw > switchBW {
+		diag("workload-bandwidth", SevWarn,
+			"bundles %s demand at least %g Mbps of aggregate bandwidth, but the interconnect provides %g Mbps",
+			who, bw, switchBW)
+	}
+
+	rep.Sort()
+	if opts.Disable != nil {
+		kept := rep.Diags[:0]
+		for _, d := range rep.Diags {
+			if !opts.Disable[d.Check] {
+				kept = append(kept, d)
+			}
+		}
+		rep.Diags = kept
+	}
+	return rep
+}
+
+// decodeLenient extracts whatever bundles and node declarations decode
+// cleanly from src, ignoring everything else.
+func decodeLenient(src string) ([]*rsl.BundleSpec, []*rsl.NodeDecl) {
+	cmds, err := rsl.ParseScript(src)
+	if err != nil {
+		return nil, nil
+	}
+	var bundles []*rsl.BundleSpec
+	var decls []*rsl.NodeDecl
+	for _, cmd := range cmds {
+		if len(cmd) == 0 || cmd[0].IsList {
+			continue
+		}
+		switch cmd[0].Word {
+		case "harmonyBundle":
+			if b, err := rsl.DecodeBundleCommand(cmd); err == nil {
+				bundles = append(bundles, b)
+			}
+		case "harmonyNode":
+			if d, err := rsl.DecodeNodeCommand(cmd); err == nil {
+				decls = append(decls, d)
+			}
+		}
+	}
+	return bundles, decls
+}
+
+// demand is a vector of interval lower bounds on what a bundle or option
+// consumes in its best (cheapest) case.
+type demand struct {
+	mem     float64            // total memory, MB
+	excl    float64            // exclusively held nodes
+	bw      float64            // aggregate link+communication bandwidth, Mbps
+	perHost map[string]float64 // memory pinned to specific hostnames, MB
+}
+
+// bundleDemand is the element-wise minimum over the bundle's options: no
+// matter which option the controller picks, the bundle consumes at least
+// this much.
+func bundleDemand(b *rsl.BundleSpec) demand {
+	agg := demand{perHost: make(map[string]float64)}
+	hostSeen := make(map[string]bool)
+	for i := range b.Options {
+		m := optionDemand(&b.Options[i])
+		if i == 0 {
+			agg.mem, agg.excl, agg.bw = m.mem, m.excl, m.bw
+			for h, v := range m.perHost {
+				agg.perHost[h] = v
+				hostSeen[h] = true
+			}
+			continue
+		}
+		agg.mem = math.Min(agg.mem, m.mem)
+		agg.excl = math.Min(agg.excl, m.excl)
+		agg.bw = math.Min(agg.bw, m.bw)
+		// A host pinned by only some options is not pinned by the bundle.
+		for h := range hostSeen {
+			if v, ok := m.perHost[h]; ok {
+				agg.perHost[h] = math.Min(agg.perHost[h], v)
+			} else {
+				delete(agg.perHost, h)
+				delete(hostSeen, h)
+			}
+		}
+	}
+	return agg
+}
+
+// optionDemand computes interval lower bounds on one option's footprint.
+// Expressions evaluate over the convex hulls of the declared variable
+// domains; unanalyzable quantities contribute zero (per-spec vetting
+// reports them), keeping the bounds sound.
+func optionDemand(opt *rsl.OptionSpec) demand {
+	m := demand{perHost: make(map[string]float64)}
+	env := make(absint.MapEnv, len(opt.Variables))
+	for _, v := range opt.Variables {
+		env[v.Name] = absint.FromValues(v.Values)
+	}
+	lower := func(e rsl.Expr, env absint.MapEnv) (float64, bool) {
+		if e == nil {
+			return 0, false
+		}
+		val := absint.Eval(e, env).Val
+		if val.IsEmpty() || math.IsInf(val.Lo, -1) {
+			return 0, false
+		}
+		return val.Lo, true
+	}
+	locals := make(absint.MapEnv, len(env)+2*len(opt.Nodes))
+	for k, v := range env {
+		locals[k] = v
+	}
+	for i := range opt.Nodes {
+		spec := &opt.Nodes[i]
+		memLo := 0.0
+		if tag, ok := spec.Tags["memory"]; ok && !tag.IsString && tag.Op != rsl.OpMax {
+			if lo, ok := lower(tag.Expr, env); ok {
+				memLo = math.Max(lo, 0)
+			}
+		}
+		secLo := 0.0
+		if tag, ok := spec.Tags["seconds"]; ok && !tag.IsString && tag.Op != rsl.OpMax {
+			if lo, ok := lower(tag.Expr, env); ok {
+				secLo = math.Max(lo, 0)
+			}
+		}
+		locals[spec.LocalName+".memory"] = absint.Of(memLo, math.Inf(1))
+		locals[spec.LocalName+".seconds"] = absint.Of(secLo, math.Inf(1))
+
+		repLo := 1.0
+		if spec.Replicate != nil {
+			if lo, ok := lower(spec.Replicate, env); ok {
+				repLo = math.Max(lo, 0)
+			} else {
+				repLo = 0
+			}
+		}
+		m.mem += repLo * memLo
+
+		if tag, ok := spec.Tags["exclusive"]; ok && !tag.IsString {
+			if lo, ok := lower(tag.Expr, env); ok && lo > 0 {
+				m.excl += math.Max(repLo, 1)
+			}
+		}
+
+		host := ""
+		if spec.HostPattern != "*" {
+			host = spec.HostPattern
+		}
+		if tag, ok := spec.Tags["hostname"]; ok && tag.IsString {
+			host = tag.Str
+		}
+		if host != "" && memLo > 0 {
+			// At least one instance lands on the pinned host; replicas may
+			// spread, so only one share is charged to it.
+			m.perHost[host] += memLo
+		}
+	}
+	for i := range opt.Links {
+		if lo, ok := lower(opt.Links[i].Bandwidth, locals); ok {
+			m.bw += math.Max(lo, 0)
+		}
+	}
+	if opt.Communication != nil {
+		if lo, ok := lower(opt.Communication, locals); ok {
+			m.bw += math.Max(lo, 0)
+		}
+	}
+	return m
+}

@@ -19,4 +19,11 @@ go vet ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== harmonyctl lint (examples/specs against the reference cluster)"
+sarif_out="${SARIF_OUT:-$(mktemp)}"
+specs=$(find examples/specs -name '*.rsl' ! -name cluster.rsl | sort)
+# shellcheck disable=SC2086 # word-split the spec list on purpose
+go run ./cmd/harmonyctl lint -sarif -cluster examples/specs/cluster.rsl $specs > "$sarif_out"
+echo "lint SARIF written to $sarif_out"
+
 echo "check.sh: all clean"
