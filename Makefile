@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz
+.PHONY: build test check fuzz bench
 
 build:
 	$(GO) build ./...
@@ -16,3 +16,7 @@ check:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=30s ./internal/rsl/
 	$(GO) test -run=^$$ -fuzz=FuzzVet -fuzztime=30s ./internal/vet/
+
+# Optimizer hot-path benchmark, gated against the committed BENCH_3.json.
+bench:
+	sh scripts/bench.sh

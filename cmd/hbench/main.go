@@ -1,19 +1,26 @@
 // Command hbench regenerates the paper's tables and figures on the
 // simulated substrate and prints the rows/series each reports, together
-// with PASS/FAIL shape checks.
+// with PASS/FAIL shape checks. It also benchmarks the controller's
+// evaluation hot path and emits a machine-readable report for CI gating.
 //
 // Usage:
 //
 //	hbench            # run every experiment (T1 F2a F2b F3 F4 F7 A1 A2 A3)
 //	hbench F7 A1      # run selected experiments
 //	hbench -list      # list experiment ids
+//	hbench -json BENCH_3.json             # run the hot-path bench, write report
+//	hbench -json out.json -baseline BENCH_3.json -tolerance 15
+//	                  # ...and fail if the hot path regressed >15% vs baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"harmony/internal/experiments"
 )
@@ -28,12 +35,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("hbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
+	jsonOut := fs.String("json", "", "run the optimizer hot-path benchmark and write the JSON report to this path")
+	baseline := fs.String("baseline", "", "compare the benchmark against this committed report")
+	tolerance := fs.Float64("tolerance", 15, "allowed hot-path slowdown vs baseline, percent")
+	benchNodes := fs.String("bench-nodes", "8,64,256", "comma-separated cluster sizes for the benchmark")
+	benchMin := fs.Duration("bench-min", 200*time.Millisecond, "minimum measurement time per benchmark point")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), " "))
 		return nil
+	}
+	if *jsonOut != "" {
+		return runBench(*jsonOut, *baseline, *tolerance, *benchNodes, *benchMin)
 	}
 	ids := fs.Args()
 	if len(ids) == 0 {
@@ -52,6 +67,109 @@ func run(args []string) error {
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) had failing shape checks", failed)
+	}
+	return nil
+}
+
+// runBench measures the hot path, writes the report, and (with a baseline)
+// gates on regressions.
+func runBench(outPath, baselinePath string, tolerancePct float64, nodesCSV string, minMeasure time.Duration) error {
+	nodes, err := parseNodes(nodesCSV)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultOptBenchConfig()
+	cfg.NodeCounts = nodes
+	cfg.MinMeasure = minMeasure
+	report, err := experiments.RunOptBench(cfg)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	fmt.Println(experiments.OptBenchResult(report).Format())
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: write report: %w", err)
+	}
+	fmt.Printf("wrote %s (%d points)\n", outPath, len(report.Points))
+	if baselinePath == "" {
+		return nil
+	}
+	return compareBaseline(report, baselinePath, tolerancePct)
+}
+
+func parseNodes(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bench: bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("bench: no node counts in %q", csv)
+	}
+	return out, nil
+}
+
+// compareBaseline fails when a point's re-evaluation time regressed more
+// than tolerancePct against the baseline. Absolute timings only transfer
+// between runs of the same environment (GOMAXPROCS, OS, arch); when the
+// environments differ, deltas are reported as informational only.
+func compareBaseline(report *experiments.OptBenchReport, baselinePath string, tolerancePct float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: read baseline: %w", err)
+	}
+	var base experiments.OptBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parse baseline: %w", err)
+	}
+	enforce := report.EnvMatches(&base)
+	if !enforce {
+		fmt.Printf("baseline environment differs (%s/%s procs=%d vs %s/%s procs=%d): deltas are informational\n",
+			base.GOOS, base.GOARCH, base.GoMaxProcs, report.GOOS, report.GOARCH, report.GoMaxProcs)
+	}
+	type key struct {
+		shape string
+		nodes int
+	}
+	baseByKey := make(map[key]experiments.OptBenchPoint, len(base.Points))
+	for _, p := range base.Points {
+		baseByKey[key{p.Shape, p.Nodes}] = p
+	}
+	regressed := 0
+	for _, p := range report.Points {
+		b, ok := baseByKey[key{p.Shape, p.Nodes}]
+		if !ok || b.SerialNsPerReeval <= 0 || b.ParallelNsPerReeval <= 0 {
+			continue
+		}
+		serialPct := (p.SerialNsPerReeval - b.SerialNsPerReeval) / b.SerialNsPerReeval * 100
+		parPct := (p.ParallelNsPerReeval - b.ParallelNsPerReeval) / b.ParallelNsPerReeval * 100
+		worst := serialPct
+		if parPct > worst {
+			worst = parPct
+		}
+		status := "ok"
+		if worst > tolerancePct {
+			if enforce {
+				status = "REGRESSED"
+				regressed++
+			} else {
+				status = "slower (not enforced)"
+			}
+		}
+		fmt.Printf("%-5s n=%-4d serial %+6.1f%% parallel %+6.1f%% [%s]\n", p.Shape, p.Nodes, serialPct, parPct, status)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("bench: %d point(s) regressed more than %.0f%% vs %s", regressed, tolerancePct, baselinePath)
 	}
 	return nil
 }

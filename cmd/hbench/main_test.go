@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"harmony/internal/experiments"
+)
 
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
@@ -23,5 +29,70 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBenchJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/bench.json"
+	if err := run([]string{"-json", out, "-bench-nodes", "4", "-bench-min", "5ms"}); err != nil {
+		t.Fatalf("run -json: %v", err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.OptBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Points) != 2 || rep.Bench != "optimizer-hot-path" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	// Same environment, same machine: comparing against itself must pass.
+	out2 := dir + "/bench2.json"
+	if err := run([]string{"-json", out2, "-bench-nodes", "4", "-bench-min", "5ms", "-baseline", out, "-tolerance", "400"}); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}
+
+func TestRunBenchRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	out := dir + "/bench.json"
+	if err := run([]string{"-json", out, "-bench-nodes", "4", "-bench-min", "5ms"}); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the baseline to claim the hot path used to be 1000x faster;
+	// the comparison must now report a regression.
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep experiments.OptBenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	for i := range rep.Points {
+		rep.Points[i].SerialNsPerReeval /= 1000
+		rep.Points[i].ParallelNsPerReeval /= 1000
+	}
+	fast, err := json.Marshal(&rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := dir + "/baseline.json"
+	if err := os.WriteFile(baseline, fast, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-json", dir + "/bench2.json", "-bench-nodes", "4", "-bench-min", "5ms", "-baseline", baseline, "-tolerance", "15"})
+	if err == nil {
+		t.Fatal("1000x slowdown passed the regression gate")
+	}
+}
+
+func TestRunBenchBadNodes(t *testing.T) {
+	if err := run([]string{"-json", t.TempDir() + "/x.json", "-bench-nodes", "zero"}); err == nil {
+		t.Fatal("bad -bench-nodes accepted")
 	}
 }

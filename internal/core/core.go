@@ -118,7 +118,9 @@ type Config struct {
 	// Clock drives granularity gating and periodic re-evaluation. Required.
 	Clock *simclock.Clock
 	// Objective is minimized across all applications; default
-	// objective.MeanResponseTime.
+	// objective.MeanResponseTime. When EvalWorkers permits parallel
+	// evaluation the function is called concurrently from worker
+	// goroutines, so it must be pure (no shared mutable state).
 	Objective objective.Func
 	// Bus optionally receives decision and prediction metrics.
 	Bus *metric.Bus
@@ -146,6 +148,16 @@ type Config struct {
 	// CriticalPathParams tunes the critical-path model; zero value takes
 	// predict.DefaultCriticalPathParams.
 	CriticalPathParams predict.CriticalPathParams
+	// EvalWorkers bounds candidate-evaluation parallelism: 0 uses
+	// GOMAXPROCS, 1 forces the serial path. Parallel and serial runs pick
+	// byte-identical winners (see internal/core/eval.go).
+	EvalWorkers int
+	// WarnFunc, when set, receives controller warnings (friction
+	// expressions that fail to evaluate, stale claims, failed rollbacks) as
+	// they are raised. It runs with the controller lock held and must not
+	// call back into the controller; nil keeps warnings in the ring buffer
+	// returned by Warnings.
+	WarnFunc func(string)
 }
 
 type appState struct {
@@ -179,6 +191,37 @@ type Controller struct {
 	listeners    []Listener
 	reevalTimer  simclock.EventID
 	stopped      bool
+
+	// predMemo caches committed-state predictions keyed by (option,
+	// assignment fingerprint); cleared on every ledger mutation.
+	predMemo   map[predMemoKey]predict.Prediction
+	memoHits   uint64
+	memoMisses uint64
+	// warnings is a bounded ring of recent controller warnings.
+	warnings []string
+}
+
+// maxWarnings bounds the warning ring buffer.
+const maxWarnings = 64
+
+// warnLocked records a warning and forwards it to Config.WarnFunc.
+func (c *Controller) warnLocked(msg string) {
+	if len(c.warnings) >= maxWarnings {
+		copy(c.warnings, c.warnings[1:])
+		c.warnings[len(c.warnings)-1] = msg
+	} else {
+		c.warnings = append(c.warnings, msg)
+	}
+	if c.cfg.WarnFunc != nil {
+		c.cfg.WarnFunc(msg)
+	}
+}
+
+// Warnings returns the most recent controller warnings, oldest first.
+func (c *Controller) Warnings() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.warnings...)
 }
 
 // New builds a controller over the cluster. The clock is not started here;
@@ -385,6 +428,7 @@ func (c *Controller) Unregister(instance int) ([]Event, error) {
 			c.mu.Unlock()
 			return nil, fmt.Errorf("core: release on unregister: %w", err)
 		}
+		c.invalidatePredictionMemoLocked()
 	}
 	_ = c.ns.Delete(app.owner())
 	delete(c.apps, instance)
@@ -533,27 +577,20 @@ func (c *Controller) ForceChoice(instance int, ch Choice) (*Event, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: option %q not in bundle %s", ch.Option, app.bundle.Name)
 	}
-	prevClaim := app.claim
-	if prevClaim != nil {
-		if err := c.ledger.Release(prevClaim.ID); err != nil {
-			c.mu.Unlock()
-			return nil, fmt.Errorf("core: release for force: %w", err)
-		}
-	}
 	now := c.cfg.Clock.Now()
-	cand, err := c.evaluateChoiceLocked(app, ch)
+	// Evaluate the forced choice hypothetically: the app's claim stays in
+	// place until adoption, which handles release/rollback itself.
+	ctx := c.newEvalContextLocked(app)
+	cand, err := c.evaluateChoice(ctx, ch)
 	if err != nil {
-		if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
-			app.claim = claim
-		}
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: force choice: %w", err)
 	}
+	if cand.frictionWarn != "" {
+		c.warnLocked(cand.frictionWarn)
+	}
 	ev, err := c.adoptLocked(app, cand, now, false)
 	if err != nil {
-		if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
-			app.claim = claim
-		}
 		c.mu.Unlock()
 		return nil, err
 	}
@@ -588,24 +625,46 @@ func (c *Controller) jobsLocked() []objective.JobPrediction {
 }
 
 // refreshPredictionsLocked recomputes every application's predicted time
-// against current ledger state (all claims reserved).
+// against current ledger state (all claims reserved). Predictions are
+// memoized, so after one adoption only the changed contention is recomputed.
 func (c *Controller) refreshPredictionsLocked() {
 	for _, id := range c.order {
 		a := c.apps[id]
 		opt := a.bundle.Option(a.choice.Option)
-		pred, err := c.predictOption(opt, a.assignment, true)
+		pred, err := c.cachedPredictLocked(opt, a.assignment)
 		if err == nil {
 			a.predicted = pred.Seconds
 		}
 	}
 }
 
-// adoptLocked commits a choice for app: reserves resources, updates the
-// namespace and returns the event. The app's previous claim (if any) must
-// already be released by the caller.
+// adoptLocked commits a choice for app: releases the app's previous claim
+// (if any), reserves the candidate's resources, updates the namespace and
+// returns the event. On reservation failure the previous placement is
+// restored, so app.claim never points at a released claim: it either holds
+// a live claim or is nil.
 func (c *Controller) adoptLocked(app *appState, cand candidate, now time.Duration, initial bool) (Event, error) {
+	prevClaim, prevAsg := app.claim, app.assignment
+	if prevClaim != nil {
+		if err := c.ledger.Release(prevClaim.ID); err != nil {
+			// The ledger does not know this claim; nothing is actually held.
+			c.warnLocked(fmt.Sprintf("core: %s holds stale claim %d: %v", app.owner(), prevClaim.ID, err))
+			prevClaim = nil
+		}
+		app.claim = nil
+	}
+	// Committed state changed (or is about to): memoized predictions for
+	// the old state no longer apply.
+	c.invalidatePredictionMemoLocked()
 	claim, err := c.matcher.Reserve(app.owner(), cand.assignment)
 	if err != nil {
+		if prevClaim != nil {
+			if rc, rerr := c.matcher.Reserve(app.owner(), prevAsg); rerr == nil {
+				app.claim = rc
+			} else {
+				c.warnLocked(fmt.Sprintf("core: %s: could not restore placement after failed adoption: %v", app.owner(), rerr))
+			}
+		}
 		return Event{}, err
 	}
 	app.claim = claim
@@ -619,8 +678,9 @@ func (c *Controller) adoptLocked(app *appState, cand candidate, now time.Duratio
 	}
 	app.choice = cand.choice
 	c.refreshPredictionsLocked()
+	// A just-registered app is not in c.order yet; predict it directly.
 	opt := app.bundle.Option(cand.choice.Option)
-	if pred, err := c.predictOption(opt, cand.assignment, true); err == nil {
+	if pred, err := c.cachedPredictLocked(opt, cand.assignment); err == nil {
 		app.predicted = pred.Seconds
 	}
 	c.writeNamespaceLocked(app)

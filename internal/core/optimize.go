@@ -3,10 +3,13 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/match"
 	"harmony/internal/objective"
+	"harmony/internal/resource"
 	"harmony/internal/rsl"
 )
 
@@ -18,6 +21,9 @@ type candidate struct {
 	objective  float64
 	predicted  float64
 	friction   float64
+	// frictionWarn carries a deferred warning when the option's friction
+	// expression failed to evaluate (surfaced once by the reduction).
+	frictionWarn string
 }
 
 // choiceKey aliases Choice for internal plumbing.
@@ -100,104 +106,16 @@ func (c *Controller) expandGrants(opt *rsl.OptionSpec, varSets []map[string]floa
 	return out
 }
 
-// evaluateChoiceLocked trial-reserves one choice for app (whose own claim
-// must currently be released) and computes the system objective with every
-// other application's claim in place. It restores the ledger before
-// returning.
-func (c *Controller) evaluateChoiceLocked(app *appState, ch Choice) (candidate, error) {
-	opt := app.bundle.Option(ch.Option)
-	if opt == nil {
-		return candidate{}, fmt.Errorf("core: option %q not in bundle", ch.Option)
-	}
-	env := rsl.MapEnv(ch.Vars)
-	asg, err := c.matcher.Match(match.Request{
-		Option:       opt,
-		Env:          env,
-		MemoryGrants: ch.Grants,
-	})
-	if err != nil {
-		return candidate{}, err
-	}
-	claim, err := c.matcher.Reserve(app.owner(), asg)
-	if err != nil {
-		return candidate{}, err
-	}
-	defer func() { _ = c.ledger.Release(claim.ID) }()
-
-	pred, err := c.predictOption(opt, asg, true)
-	if err != nil {
-		return candidate{}, err
-	}
-
-	jobs := make([]objective.JobPrediction, 0, len(c.order)+1)
-	for _, id := range c.order {
-		other := c.apps[id]
-		if other == app {
-			continue
-		}
-		otherOpt := other.bundle.Option(other.choice.Option)
-		op, err := c.predictOption(otherOpt, other.assignment, true)
-		if err != nil {
-			return candidate{}, err
-		}
-		jobs = append(jobs, objective.JobPrediction{App: other.owner(), Seconds: op.Seconds})
-	}
-	jobs = append(jobs, objective.JobPrediction{App: app.owner(), Seconds: pred.Seconds})
-
-	friction := 0.0
-	if opt.Friction != nil {
-		if f, err := opt.Friction.Eval(rsl.ChainEnv{asg.MemoryEnv(), env}); err == nil && f > 0 {
-			friction = f
-		}
-	}
-	return candidate{
-		choice:     ch,
-		assignment: asg,
-		objective:  c.cfg.Objective(jobs),
-		predicted:  pred.Seconds,
-		friction:   friction,
-	}, nil
-}
-
 // bestChoiceLocked finds the objective-minimizing feasible choice for app.
-// The app's claim must already be released. When forInitial is true, the
-// friction of the chosen option is not charged (nothing is switching).
+// Evaluation is side-effect-free: candidates are trial-reserved in forks of
+// a ledger snapshot, never in the shared ledger, so the app's real claim
+// stays in place until adoption. When forInitial is true, the friction of
+// the chosen option is not charged (nothing is switching).
 func (c *Controller) bestChoiceLocked(app *appState, now time.Duration, forInitial bool) (candidate, error) {
 	choices := c.enumerateChoices(app.bundle)
-	best := candidate{objective: math.Inf(1)}
-	found := false
-	var lastErr error
-	for _, ch := range choices {
-		cand, err := c.evaluateChoiceLocked(app, ch)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		score := cand.objective
-		if !forInitial && !ch.Equal(app.choice) && !c.cfg.IgnoreFriction {
-			// Amortize the frictional switching cost into the objective: a
-			// switch must buy more improvement than it costs (Section 3,
-			// "frictional cost function ... to evaluate if a tuning option
-			// is worth the effort").
-			n := len(c.order)
-			if n == 0 {
-				n = 1
-			}
-			score += cand.friction / float64(n)
-		}
-		if score < best.objective {
-			best = cand
-			best.objective = score
-			found = true
-		}
-	}
-	if !found {
-		if lastErr != nil {
-			return candidate{}, fmt.Errorf("%w for %s: %v", ErrNoFeasibleOption, app.bundle.App, lastErr)
-		}
-		return candidate{}, fmt.Errorf("%w for %s", ErrNoFeasibleOption, app.bundle.App)
-	}
-	return best, nil
+	ctx := c.newEvalContextLocked(app)
+	results := c.evaluateChoices(ctx, choices)
+	return c.reduceCandidatesLocked(app, results, forInitial)
 }
 
 // reevaluateLocked runs the optimizer over registered applications in
@@ -218,27 +136,20 @@ func (c *Controller) reevaluateLocked(now time.Duration, skipInstance int) []Eve
 		if !c.granularityAllowsLocked(app, now) {
 			continue
 		}
-		prev := app.choice
-		prevClaim := app.claim
-		if prevClaim != nil {
-			if err := c.ledger.Release(prevClaim.ID); err != nil {
-				continue
-			}
-		}
 		best, err := c.bestChoiceLocked(app, now, false)
-		if err != nil || best.choice.Equal(prev) {
-			// Restore the previous reservation.
-			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
-				app.claim = claim
-			}
-			c.refreshPredictionsLocked()
+		if err != nil {
+			continue
+		}
+		if best.choice.Equal(app.choice) && app.claim != nil {
+			// Nothing to do: evaluation left the ledger untouched, so the
+			// app's existing claim is still in place. (A nil claim means the
+			// claim went stale and the app must be re-placed even under an
+			// unchanged choice.)
 			continue
 		}
 		ev, err := c.adoptLocked(app, best, now, false)
 		if err != nil {
-			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
-				app.claim = claim
-			}
+			c.warnLocked(fmt.Sprintf("core: %s: adopting %s failed: %v", app.owner(), best.choice.String(), err))
 			continue
 		}
 		events = append(events, ev)
@@ -259,9 +170,19 @@ func (c *Controller) granularityAllowsLocked(app *appState, now time.Duration) b
 	return now-app.lastSwitch >= time.Duration(g*float64(time.Second))
 }
 
+// comboResult is the best full-system configuration found in one branch of
+// the exhaustive search.
+type comboResult struct {
+	score float64
+	combo []candidate
+	warns []string
+}
+
 // reevaluateExhaustiveLocked searches the full cross product of all
 // applications' choices (the A2 ablation baseline). Exponential: intended
-// for small systems only.
+// for small systems only. The search runs over snapshot forks — the shared
+// ledger is only touched if a strictly better combination is adopted — and
+// fans the first application's choices out over the worker pool.
 func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance int) []Event {
 	ids := make([]int, 0, len(c.order))
 	for _, id := range c.order {
@@ -272,11 +193,15 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 	if len(ids) == 0 {
 		return nil
 	}
-	// Release every movable app, then search.
+	base := c.ledger.Snapshot()
+	// Hypothetically release every movable app inside the snapshot.
 	for _, id := range ids {
 		app := c.apps[id]
-		if app.claim != nil {
-			_ = c.ledger.Release(app.claim.ID)
+		if app.claim == nil {
+			continue
+		}
+		if err := base.Release(app.claim.ID); err != nil {
+			c.warnLocked(fmt.Sprintf("core: %s holds stale claim %d: %v", app.owner(), app.claim.ID, err))
 			app.claim = nil
 		}
 	}
@@ -285,85 +210,40 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 		perApp[i] = c.enumerateChoices(c.apps[id].bundle)
 	}
 
-	bestScore := math.Inf(1)
-	var bestCombo []candidate
-
-	var walk func(i int, acc []candidate)
-	walk = func(i int, acc []candidate) {
-		if i == len(ids) {
-			score := 0.0
-			jobs := make([]objective.JobPrediction, 0, len(acc))
-			for _, cd := range acc {
-				jobs = append(jobs, objective.JobPrediction{Seconds: cd.predicted})
-			}
-			// Fixed (skipped) apps still count toward the objective.
-			if skipInstance != 0 {
-				if fixed, ok := c.apps[skipInstance]; ok {
-					jobs = append(jobs, objective.JobPrediction{Seconds: fixed.predicted})
-				}
-			}
-			score = c.cfg.Objective(jobs)
-			if !c.cfg.IgnoreFriction {
-				for j, cd := range acc {
-					if !cd.choice.Equal(c.apps[ids[j]].choice) {
-						score += cd.friction / float64(len(jobs))
-					}
-				}
-			}
-			if score < bestScore {
-				bestScore = score
-				bestCombo = append([]candidate(nil), acc...)
-			}
-			return
-		}
-		app := c.apps[ids[i]]
-		for _, ch := range perApp[i] {
-			opt := app.bundle.Option(ch.Option)
-			asg, err := c.matcher.Match(match.Request{Option: opt, Env: rsl.MapEnv(ch.Vars), MemoryGrants: ch.Grants})
-			if err != nil {
-				continue
-			}
-			claim, err := c.matcher.Reserve(app.owner(), asg)
-			if err != nil {
-				continue
-			}
-			pred, err := c.predictOption(opt, asg, true)
-			if err != nil {
-				_ = c.ledger.Release(claim.ID)
-				continue
-			}
-			friction := 0.0
-			if opt.Friction != nil {
-				if f, ferr := opt.Friction.Eval(rsl.ChainEnv{asg.MemoryEnv(), rsl.MapEnv(ch.Vars)}); ferr == nil && f > 0 {
-					friction = f
-				}
-			}
-			walk(i+1, append(acc, candidate{choice: ch, assignment: asg, predicted: pred.Seconds, friction: friction}))
-			_ = c.ledger.Release(claim.ID)
-		}
+	best := c.searchExhaustive(base, ids, perApp, skipInstance)
+	for _, w := range best.warns {
+		c.warnLocked(w)
 	}
-	walk(0, nil)
-
-	var events []Event
-	if bestCombo == nil {
+	if best.combo == nil {
 		// Nothing feasible (shouldn't happen: previous state was feasible).
-		// Restore previous assignments.
-		for _, id := range ids {
-			app := c.apps[id]
-			if claim, err := c.matcher.Reserve(app.owner(), app.assignment); err == nil {
-				app.claim = claim
-			}
-		}
+		// The ledger was never touched, so every claim is still in place.
 		return nil
 	}
+
+	// Adopt: release every movable claim, then reserve the combination in
+	// order (later reservations may need capacity earlier releases freed).
+	for _, id := range ids {
+		app := c.apps[id]
+		if app.claim == nil {
+			continue
+		}
+		if err := c.ledger.Release(app.claim.ID); err != nil {
+			c.warnLocked(fmt.Sprintf("core: %s: release for joint adoption: %v", app.owner(), err))
+		}
+		app.claim = nil
+	}
+	c.invalidatePredictionMemoLocked()
+	var events []Event
 	for i, id := range ids {
 		app := c.apps[id]
-		cd := bestCombo[i]
+		cd := best.combo[i]
 		changed := !cd.choice.Equal(app.choice)
 		ev, err := c.adoptLocked(app, cd, now, false)
 		if err != nil {
 			if claim, rerr := c.matcher.Reserve(app.owner(), app.assignment); rerr == nil {
 				app.claim = claim
+			} else {
+				c.warnLocked(fmt.Sprintf("core: %s: could not restore placement: %v", app.owner(), rerr))
 			}
 			continue
 		}
@@ -372,6 +252,137 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 		}
 	}
 	return events
+}
+
+// searchExhaustive walks the cross product of all applications' choices.
+// The first level fans out over the worker pool, one snapshot fork per
+// top-level choice; deeper levels recurse serially, forking per choice so
+// serial and parallel runs perform identical floating-point arithmetic.
+// Branch results reduce in enumeration order with strict improvement, so
+// the winner is byte-identical to a fully serial depth-first walk.
+func (c *Controller) searchExhaustive(base *resource.Snapshot, ids []int, perApp [][]Choice, skipInstance int) comboResult {
+	top := perApp[0]
+	branches := make([]comboResult, len(top))
+	runBranch := func(i int) comboResult {
+		br := comboResult{score: math.Inf(1)}
+		fork, cd, ok := c.tryChoice(base, ids[0], top[i], &br)
+		if ok {
+			c.walkExhaustive(fork, ids, perApp, skipInstance, 1, []candidate{cd}, &br)
+		}
+		return br
+	}
+	workers := c.evalWorkers()
+	if workers > len(top) {
+		workers = len(top)
+	}
+	if workers <= 1 || len(ids) == 0 {
+		for i := range top {
+			branches[i] = runBranch(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(top) {
+						return
+					}
+					branches[i] = runBranch(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	best := comboResult{score: math.Inf(1)}
+	for _, br := range branches {
+		best.warns = append(best.warns, br.warns...)
+		if br.combo != nil && br.score < best.score {
+			best.score = br.score
+			best.combo = br.combo
+		}
+	}
+	return best
+}
+
+// tryChoice matches and trial-reserves one choice for one app in a fresh
+// fork of view, returning the fork, the candidate, and whether it fits.
+func (c *Controller) tryChoice(view *resource.Snapshot, id int, ch Choice, br *comboResult) (*resource.Snapshot, candidate, bool) {
+	app := c.apps[id]
+	opt := app.bundle.Option(ch.Option)
+	fork := view.Fork()
+	matcher := c.matcher.WithView(fork)
+	asg, err := matcher.Match(match.Request{Option: opt, Env: rsl.MapEnv(ch.Vars), MemoryGrants: ch.Grants})
+	if err != nil {
+		return nil, candidate{}, false
+	}
+	if _, err := matcher.Reserve(app.owner(), asg); err != nil {
+		return nil, candidate{}, false
+	}
+	pred, err := c.predictOptionView(fork, opt, asg, true)
+	if err != nil {
+		return nil, candidate{}, false
+	}
+	friction := 0.0
+	if opt.Friction != nil {
+		f, ferr := opt.Friction.Eval(rsl.ChainEnv{asg.MemoryEnv(), rsl.MapEnv(ch.Vars)})
+		switch {
+		case ferr != nil:
+			br.addWarn(fmt.Sprintf("core: %s option %s: friction evaluation failed: %v", app.bundle.App, opt.Name, ferr))
+		case f > 0:
+			friction = f
+		}
+	}
+	return fork, candidate{choice: ch, assignment: asg, predicted: pred.Seconds, friction: friction}, true
+}
+
+// walkExhaustive recurses over the remaining applications' choices.
+func (c *Controller) walkExhaustive(view *resource.Snapshot, ids []int, perApp [][]Choice, skipInstance, level int, acc []candidate, br *comboResult) {
+	if level == len(ids) {
+		jobs := make([]objective.JobPrediction, 0, len(acc))
+		for _, cd := range acc {
+			jobs = append(jobs, objective.JobPrediction{Seconds: cd.predicted})
+		}
+		// Fixed (skipped) apps still count toward the objective.
+		if skipInstance != 0 {
+			if fixed, ok := c.apps[skipInstance]; ok {
+				jobs = append(jobs, objective.JobPrediction{Seconds: fixed.predicted})
+			}
+		}
+		score := c.cfg.Objective(jobs)
+		if !c.cfg.IgnoreFriction {
+			for j, cd := range acc {
+				if !cd.choice.Equal(c.apps[ids[j]].choice) {
+					score += cd.friction / float64(len(jobs))
+				}
+			}
+		}
+		if score < br.score {
+			br.score = score
+			br.combo = append([]candidate(nil), acc...)
+		}
+		return
+	}
+	for _, ch := range perApp[level] {
+		fork, cd, ok := c.tryChoice(view, ids[level], ch, br)
+		if !ok {
+			continue
+		}
+		c.walkExhaustive(fork, ids, perApp, skipInstance, level+1, append(acc, cd), br)
+	}
+}
+
+// addWarn appends a deduplicated warning to the branch result.
+func (br *comboResult) addWarn(msg string) {
+	for _, w := range br.warns {
+		if w == msg {
+			return
+		}
+	}
+	br.warns = append(br.warns, msg)
 }
 
 // EvaluationCount reports how many (choice, app) evaluations a greedy pass

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOptBenchSmall runs the hot-path benchmark at toy scale and checks
+// the report's invariants (the large configurations run from cmd/hbench).
+func TestOptBenchSmall(t *testing.T) {
+	rep, err := RunOptBench(OptBenchConfig{
+		Shapes:     []string{"fig4", "fig7"},
+		NodeCounts: []int{4},
+		MinMeasure: 5 * time.Millisecond,
+		MaxIters:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(rep.Points))
+	}
+	for _, p := range rep.Points {
+		if p.Apps <= 0 || p.ChoicesPerPass <= 0 {
+			t.Errorf("%s/%d: degenerate workload: %+v", p.Shape, p.Nodes, p)
+		}
+		if !(p.SerialNsPerReeval > 0) || !(p.ParallelNsPerReeval > 0) {
+			t.Errorf("%s/%d: non-positive timing: %+v", p.Shape, p.Nodes, p)
+		}
+		if !(p.SerialEvalsPerSec > 0) || !(p.ParallelEvalsPerSec > 0) {
+			t.Errorf("%s/%d: non-positive rate: %+v", p.Shape, p.Nodes, p)
+		}
+		if p.MemoHitRate < 0 || p.MemoHitRate > 1 {
+			t.Errorf("%s/%d: memo hit rate out of range: %g", p.Shape, p.Nodes, p.MemoHitRate)
+		}
+	}
+	if rep.GoMaxProcs < 1 || rep.GOOS == "" || rep.GOARCH == "" {
+		t.Fatalf("environment not recorded: %+v", rep)
+	}
+	res := OptBenchResult(rep)
+	if !res.Passed() || len(res.Rows) != 2 {
+		t.Fatalf("result formatting broken: %+v", res)
+	}
+}
+
+// TestOptBenchEnvMatches covers the baseline-comparability predicate.
+func TestOptBenchEnvMatches(t *testing.T) {
+	a := &OptBenchReport{GoMaxProcs: 4, GOOS: "linux", GOARCH: "amd64"}
+	b := &OptBenchReport{GoMaxProcs: 4, GOOS: "linux", GOARCH: "amd64"}
+	if !a.EnvMatches(b) {
+		t.Fatal("identical environments reported as different")
+	}
+	b.GoMaxProcs = 8
+	if a.EnvMatches(b) {
+		t.Fatal("different GOMAXPROCS reported as comparable")
+	}
+	if a.EnvMatches(nil) {
+		t.Fatal("nil baseline reported as comparable")
+	}
+}
+
+// TestOptBenchRejectsEmptyConfig guards the config validation.
+func TestOptBenchRejectsEmptyConfig(t *testing.T) {
+	if _, err := RunOptBench(OptBenchConfig{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package match
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a stable 64-bit hash over everything that affects an
+// assignment's resource footprint and predicted performance: option name,
+// every node placement (local name, host, seconds, memory, CPU load), every
+// link placement, and the aggregate communication requirement. The
+// controller memoizes predictions keyed by (option, fingerprint), so two
+// assignments with equal fingerprints must predict identically against the
+// same ledger state.
+func (a *Assignment) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	str := func(s string) {
+		_, _ = h.Write([]byte(s))
+		_, _ = h.Write([]byte{0}) // field separator so "ab"+"c" != "a"+"bc"
+	}
+	num := func(f float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(f))
+		_, _ = h.Write(buf[:])
+	}
+	str(a.Option)
+	for _, n := range a.Nodes {
+		str(n.LocalName)
+		str(n.Hostname)
+		num(n.Seconds)
+		num(n.MemoryMB)
+		num(n.CPULoad)
+	}
+	str("|links")
+	for _, l := range a.Links {
+		str(l.LocalA)
+		str(l.LocalB)
+		str(l.HostA)
+		str(l.HostB)
+		num(l.BandwidthMbps)
+	}
+	num(a.CommunicationMbps)
+	return h.Sum64()
+}

@@ -1,0 +1,53 @@
+package match
+
+import "testing"
+
+func fpAssignment() *Assignment {
+	return &Assignment{
+		Option: "workers",
+		Nodes: []NodeAssignment{
+			{LocalName: "worker", Hostname: "sp2-01", Seconds: 100, MemoryMB: 32, CPULoad: 1},
+			{LocalName: "worker", Hostname: "sp2-02", Seconds: 100, MemoryMB: 32, CPULoad: 1},
+		},
+		Links:             []LinkAssignment{{LocalA: "a", LocalB: "b", HostA: "sp2-01", HostB: "sp2-02", BandwidthMbps: 10}},
+		CommunicationMbps: 5,
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	a, b := fpAssignment(), fpAssignment()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical assignments must share a fingerprint")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpAssignment().Fingerprint()
+	mutations := map[string]func(*Assignment){
+		"option name":   func(a *Assignment) { a.Option = "other" },
+		"host":          func(a *Assignment) { a.Nodes[1].Hostname = "sp2-03" },
+		"seconds":       func(a *Assignment) { a.Nodes[0].Seconds = 99 },
+		"memory":        func(a *Assignment) { a.Nodes[0].MemoryMB = 64 },
+		"cpu load":      func(a *Assignment) { a.Nodes[0].CPULoad = 0.5 },
+		"link bw":       func(a *Assignment) { a.Links[0].BandwidthMbps = 11 },
+		"communication": func(a *Assignment) { a.CommunicationMbps = 6 },
+		"node removed":  func(a *Assignment) { a.Nodes = a.Nodes[:1] },
+	}
+	for name, mutate := range mutations {
+		a := fpAssignment()
+		mutate(a)
+		if a.Fingerprint() == base {
+			t.Errorf("mutation %q did not change the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintFieldBoundaries guards the separator scheme: shifting
+// bytes between adjacent string fields must change the hash.
+func TestFingerprintFieldBoundaries(t *testing.T) {
+	a := &Assignment{Option: "ab", Nodes: []NodeAssignment{{LocalName: "c", Hostname: "h"}}}
+	b := &Assignment{Option: "a", Nodes: []NodeAssignment{{LocalName: "bc", Hostname: "h"}}}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("field boundary collision")
+	}
+}

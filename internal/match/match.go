@@ -116,15 +116,27 @@ type Request struct {
 	ExcludeHosts map[string]bool
 }
 
-// Matcher places options onto a ledger.
+// Matcher places options onto a resource view (the live ledger, or a
+// snapshot of it for side-effect-free hypothetical placement).
 type Matcher struct {
-	ledger   *resource.Ledger
+	ledger   resource.View
 	strategy Strategy
 }
 
 // New returns a matcher over the ledger.
 func New(ledger *resource.Ledger) *Matcher {
 	return &Matcher{ledger: ledger}
+}
+
+// NewWithView returns a matcher over an arbitrary resource view.
+func NewWithView(view resource.View) *Matcher {
+	return &Matcher{ledger: view}
+}
+
+// WithView returns a copy of the matcher (same strategy) bound to another
+// view, e.g. a ledger snapshot for hypothetical matching.
+func (m *Matcher) WithView(view resource.View) *Matcher {
+	return &Matcher{ledger: view, strategy: m.strategy}
 }
 
 // Match computes a first-fit assignment without reserving anything. Use

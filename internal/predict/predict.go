@@ -25,14 +25,26 @@ type Prediction struct {
 	CommScale float64
 }
 
-// Predictor computes response-time predictions against current ledger state.
+// Predictor computes response-time predictions against a resource view
+// (the live ledger, or a snapshot for hypothetical evaluation).
 type Predictor struct {
-	ledger *resource.Ledger
+	ledger resource.View
 }
 
 // New returns a predictor over the ledger.
 func New(ledger *resource.Ledger) *Predictor {
 	return &Predictor{ledger: ledger}
+}
+
+// NewWithView returns a predictor over an arbitrary resource view.
+func NewWithView(view resource.View) *Predictor {
+	return &Predictor{ledger: view}
+}
+
+// WithView returns a predictor bound to another view, e.g. a ledger
+// snapshot holding a trial reservation.
+func (p *Predictor) WithView(view resource.View) *Predictor {
+	return &Predictor{ledger: view}
 }
 
 // Default applies the paper's default model to an assignment.

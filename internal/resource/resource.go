@@ -175,6 +175,9 @@ type Ledger struct {
 	claims  map[uint64]*Claim
 	nextID  uint64
 	baseMem map[string]float64
+	// snapCache is the immutable base shared by snapshots taken since the
+	// last mutation; any write to the ledger drops it (see Snapshot).
+	snapCache *snapBase
 }
 
 type nodeEntry struct {
@@ -210,6 +213,7 @@ func (l *Ledger) AddNode(n Node) error {
 	}
 	l.nodes[n.Hostname] = &nodeEntry{node: n, freeMem: n.MemoryMB}
 	l.baseMem[n.Hostname] = n.MemoryMB
+	l.snapCache = nil
 	return nil
 }
 
@@ -227,6 +231,7 @@ func (l *Ledger) AddLink(lk Link) error {
 		return fmt.Errorf("%w: %s", ErrUnknownNode, lk.B)
 	}
 	l.links[lk.Key()] = &linkEntry{link: lk}
+	l.snapCache = nil
 	return nil
 }
 
@@ -260,8 +265,14 @@ func (l *Ledger) Nodes() []NodeState {
 	for _, e := range l.nodes {
 		out = append(out, NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node.Hostname < out[j].Node.Hostname })
+	sortNodeStates(out)
 	return out
+}
+
+// sortNodeStates orders node states by hostname, the scan order the matcher
+// relies on. Ledger.Nodes and Snapshot.Nodes must agree on it.
+func sortNodeStates(states []NodeState) {
+	sort.Slice(states, func(i, j int) bool { return states[i].Node.Hostname < states[j].Node.Hostname })
 }
 
 // Links returns snapshots of all links sorted by key.
@@ -307,6 +318,7 @@ func (l *Ledger) Reserve(owner string, nodes []NodeClaim, links []LinkClaim) (*C
 		}
 	}
 	// Apply.
+	l.snapCache = nil
 	for _, nc := range nodes {
 		e := l.nodes[nc.Hostname]
 		e.freeMem -= nc.MemoryMB
@@ -331,6 +343,7 @@ func (l *Ledger) Release(id uint64) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownClaim, id)
 	}
+	l.snapCache = nil
 	for _, nc := range c.Nodes {
 		if e, ok := l.nodes[nc.Hostname]; ok {
 			e.freeMem += nc.MemoryMB

@@ -1,0 +1,278 @@
+package resource
+
+import "fmt"
+
+// View is the read/reserve surface shared by the live Ledger and
+// hypothetical Snapshots of it. The matcher and predictor operate against a
+// View, so the controller can evaluate candidate configurations
+// side-effect-free: trial reservations land in a snapshot fork instead of
+// the shared ledger.
+type View interface {
+	// Nodes returns snapshots of all nodes sorted by hostname.
+	Nodes() []NodeState
+	// Node returns the state of one node.
+	Node(hostname string) (NodeState, error)
+	// Link returns the state of one link.
+	Link(a, b string) (LinkState, error)
+	// Reserve atomically applies node and link claims, or none on failure.
+	Reserve(owner string, nodes []NodeClaim, links []LinkClaim) (*Claim, error)
+	// Release returns a claim's resources to the pool.
+	Release(id uint64) error
+}
+
+var (
+	_ View = (*Ledger)(nil)
+	_ View = (*Snapshot)(nil)
+)
+
+// snapNode is one node's state captured in a snapshot layer.
+type snapNode struct {
+	node    Node
+	freeMem float64
+	cpuLoad float64
+}
+
+// snapBase is the immutable capture of a ledger taken by Ledger.Snapshot.
+// It is shared by every fork of the snapshot and never written after
+// construction.
+type snapBase struct {
+	nodes  map[string]snapNode
+	links  map[string]linkEntry
+	claims map[uint64]*Claim
+	nextID uint64
+}
+
+// Snapshot is a copy-on-write view of a Ledger at the moment Snapshot() was
+// called. Reserve and Release mutate only the snapshot's private overlay;
+// the underlying ledger is untouched. Fork() produces an independent child
+// sharing all state accumulated so far, so a controller can release an
+// application's claim once in a parent snapshot and then trial-reserve many
+// candidate placements in cheap per-candidate forks.
+//
+// A Snapshot is NOT safe for concurrent use; forks are independent and may
+// be used from different goroutines concurrently (the shared layers are
+// read-only once forked).
+type Snapshot struct {
+	base   *snapBase
+	parent *Snapshot // frozen once forked from
+
+	nodes    map[string]snapNode // copy-on-write overlay
+	links    map[string]linkEntry
+	claims   map[uint64]*Claim
+	released map[uint64]bool
+	nextID   uint64
+}
+
+// Snapshot captures the ledger's current state as a copy-on-write view.
+// The capture cost is O(nodes + links + claims) after a mutation and O(1)
+// while the ledger is unchanged (the immutable base is cached and shared);
+// Fork calls are O(1) plus the size of the fork's own mutations.
+func (l *Ledger) Snapshot() *Snapshot {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.snapCache == nil {
+		base := &snapBase{
+			nodes:  make(map[string]snapNode, len(l.nodes)),
+			links:  make(map[string]linkEntry, len(l.links)),
+			claims: make(map[uint64]*Claim, len(l.claims)),
+			nextID: l.nextID,
+		}
+		for h, e := range l.nodes {
+			base.nodes[h] = snapNode{node: e.node, freeMem: e.freeMem, cpuLoad: e.cpuLoad}
+		}
+		for k, e := range l.links {
+			base.links[k] = *e
+		}
+		for id, c := range l.claims {
+			// Claims are immutable after creation, so sharing pointers is safe.
+			base.claims[id] = c
+		}
+		l.snapCache = base
+	}
+	return &Snapshot{base: l.snapCache, nextID: l.snapCache.nextID}
+}
+
+// Fork returns an independent copy-on-write child. The receiver must not be
+// mutated after forking: the child reads through it, so writes to the parent
+// would leak into (and race with) every fork.
+func (s *Snapshot) Fork() *Snapshot {
+	return &Snapshot{base: s.base, parent: s, nextID: s.nextID}
+}
+
+// lookupNode walks the overlay chain for a node's current state.
+func (s *Snapshot) lookupNode(hostname string) (snapNode, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.nodes != nil {
+			if n, ok := cur.nodes[hostname]; ok {
+				return n, true
+			}
+		}
+	}
+	n, ok := s.base.nodes[hostname]
+	return n, ok
+}
+
+// lookupLink walks the overlay chain for a link's current state.
+func (s *Snapshot) lookupLink(key string) (linkEntry, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.links != nil {
+			if e, ok := cur.links[key]; ok {
+				return e, true
+			}
+		}
+	}
+	e, ok := s.base.links[key]
+	return e, ok
+}
+
+// lookupClaim finds an outstanding claim, honouring releases recorded in
+// any layer of the chain.
+func (s *Snapshot) lookupClaim(id uint64) (*Claim, bool) {
+	for cur := s; cur != nil; cur = cur.parent {
+		if cur.released != nil && cur.released[id] {
+			return nil, false
+		}
+		if cur.claims != nil {
+			if c, ok := cur.claims[id]; ok {
+				return c, true
+			}
+		}
+	}
+	c, ok := s.base.claims[id]
+	return c, ok
+}
+
+func (s *Snapshot) setNode(hostname string, n snapNode) {
+	if s.nodes == nil {
+		s.nodes = make(map[string]snapNode)
+	}
+	s.nodes[hostname] = n
+}
+
+func (s *Snapshot) setLink(key string, e linkEntry) {
+	if s.links == nil {
+		s.links = make(map[string]linkEntry)
+	}
+	s.links[key] = e
+}
+
+// Nodes returns the state of all nodes sorted by hostname, matching
+// Ledger.Nodes ordering exactly (the matcher's scan order depends on it).
+func (s *Snapshot) Nodes() []NodeState {
+	out := make([]NodeState, 0, len(s.base.nodes))
+	for h := range s.base.nodes {
+		n, _ := s.lookupNode(h)
+		out = append(out, NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad})
+	}
+	sortNodeStates(out)
+	return out
+}
+
+// Node returns the snapshot state of one node.
+func (s *Snapshot) Node(hostname string) (NodeState, error) {
+	n, ok := s.lookupNode(hostname)
+	if !ok {
+		return NodeState{}, fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
+	}
+	return NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad}, nil
+}
+
+// Link returns the snapshot state of one link.
+func (s *Snapshot) Link(a, b string) (LinkState, error) {
+	e, ok := s.lookupLink(LinkKey(a, b))
+	if !ok {
+		return LinkState{}, fmt.Errorf("%w: %s-%s", ErrUnknownLink, a, b)
+	}
+	return LinkState{Link: e.link, ReservedMbps: e.reserved}, nil
+}
+
+// Reserve applies node and link claims to the snapshot overlay with the
+// same validation and arithmetic as Ledger.Reserve, so a hypothetical
+// reservation is byte-identical to what committing it would produce.
+func (s *Snapshot) Reserve(owner string, nodes []NodeClaim, links []LinkClaim) (*Claim, error) {
+	// Validate first.
+	for _, nc := range nodes {
+		e, ok := s.lookupNode(nc.Hostname)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownNode, nc.Hostname)
+		}
+		if nc.MemoryMB < 0 || nc.CPULoad < 0 {
+			return nil, fmt.Errorf("resource: negative claim on %s", nc.Hostname)
+		}
+		if nc.MemoryMB > e.freeMem {
+			return nil, fmt.Errorf("%w: %s memory (need %g MB, free %g MB)",
+				ErrInsufficient, nc.Hostname, nc.MemoryMB, e.freeMem)
+		}
+	}
+	for _, lc := range links {
+		if _, ok := s.lookupLink(LinkKey(lc.A, lc.B)); !ok {
+			return nil, fmt.Errorf("%w: %s-%s", ErrUnknownLink, lc.A, lc.B)
+		}
+		if lc.BandwidthMbps < 0 {
+			return nil, fmt.Errorf("resource: negative bandwidth claim on %s-%s", lc.A, lc.B)
+		}
+	}
+	// Apply into the overlay.
+	for _, nc := range nodes {
+		e, _ := s.lookupNode(nc.Hostname)
+		e.freeMem -= nc.MemoryMB
+		e.cpuLoad += nc.CPULoad
+		s.setNode(nc.Hostname, e)
+	}
+	for _, lc := range links {
+		key := LinkKey(lc.A, lc.B)
+		e, _ := s.lookupLink(key)
+		e.reserved += lc.BandwidthMbps
+		s.setLink(key, e)
+	}
+	s.nextID++
+	c := &Claim{ID: s.nextID, Owner: owner}
+	c.Nodes = append(c.Nodes, nodes...)
+	c.Links = append(c.Links, links...)
+	if s.claims == nil {
+		s.claims = make(map[uint64]*Claim)
+	}
+	s.claims[c.ID] = c
+	return c, nil
+}
+
+// Release returns a claim's resources to the snapshot, whether the claim
+// was created in this snapshot or captured from the underlying ledger. The
+// clamping mirrors Ledger.Release exactly.
+func (s *Snapshot) Release(id uint64) error {
+	c, ok := s.lookupClaim(id)
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownClaim, id)
+	}
+	for _, nc := range c.Nodes {
+		if e, ok := s.lookupNode(nc.Hostname); ok {
+			e.freeMem += nc.MemoryMB
+			e.cpuLoad -= nc.CPULoad
+			if e.cpuLoad < 1e-12 {
+				e.cpuLoad = 0
+			}
+			if e.freeMem > e.node.MemoryMB {
+				e.freeMem = e.node.MemoryMB
+			}
+			s.setNode(nc.Hostname, e)
+		}
+	}
+	for _, lc := range c.Links {
+		key := LinkKey(lc.A, lc.B)
+		if e, ok := s.lookupLink(key); ok {
+			e.reserved -= lc.BandwidthMbps
+			if e.reserved < 1e-12 {
+				e.reserved = 0
+			}
+			s.setLink(key, e)
+		}
+	}
+	if s.claims != nil {
+		delete(s.claims, id)
+	}
+	if s.released == nil {
+		s.released = make(map[uint64]bool)
+	}
+	s.released[id] = true
+	return nil
+}

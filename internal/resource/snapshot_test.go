@@ -1,0 +1,236 @@
+package resource
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func snapshotTestLedger(t *testing.T, nodes int) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	for i := 0; i < nodes; i++ {
+		host := fmt.Sprintf("n%02d", i)
+		if err := l.AddNode(Node{Hostname: host, Speed: 1, MemoryMB: 128, OS: "linux", CPUs: 1}); err != nil {
+			t.Fatalf("AddNode: %v", err)
+		}
+	}
+	for i := 0; i < nodes; i++ {
+		for j := i + 1; j < nodes; j++ {
+			lk := Link{A: fmt.Sprintf("n%02d", i), B: fmt.Sprintf("n%02d", j), BandwidthMbps: 100, LatencyMs: 1}
+			if err := l.AddLink(lk); err != nil {
+				t.Fatalf("AddLink: %v", err)
+			}
+		}
+	}
+	return l
+}
+
+func TestSnapshotReserveDoesNotTouchLedger(t *testing.T) {
+	l := snapshotTestLedger(t, 3)
+	snap := l.Snapshot()
+	claim, err := snap.Reserve("hypo", []NodeClaim{{Hostname: "n00", MemoryMB: 64, CPULoad: 1}},
+		[]LinkClaim{{A: "n00", B: "n01", BandwidthMbps: 10}})
+	if err != nil {
+		t.Fatalf("snapshot reserve: %v", err)
+	}
+	// Snapshot sees the reservation.
+	ns, err := snap.Node("n00")
+	if err != nil || ns.FreeMemoryMB != 64 || ns.CPULoad != 1 {
+		t.Fatalf("snapshot node state = %+v, %v; want 64 MB free, load 1", ns, err)
+	}
+	ls, err := snap.Link("n00", "n01")
+	if err != nil || ls.ReservedMbps != 10 {
+		t.Fatalf("snapshot link state = %+v, %v; want 10 Mbps reserved", ls, err)
+	}
+	// Ledger is untouched.
+	lns, err := l.Node("n00")
+	if err != nil || lns.FreeMemoryMB != 128 || lns.CPULoad != 0 {
+		t.Fatalf("ledger node state = %+v, %v; want pristine", lns, err)
+	}
+	if got := len(l.Claims()); got != 0 {
+		t.Fatalf("ledger has %d claims, want 0", got)
+	}
+	// Releasing in the snapshot restores the snapshot state.
+	if err := snap.Release(claim.ID); err != nil {
+		t.Fatalf("snapshot release: %v", err)
+	}
+	ns, _ = snap.Node("n00")
+	if ns.FreeMemoryMB != 128 || ns.CPULoad != 0 {
+		t.Fatalf("snapshot after release = %+v, want pristine", ns)
+	}
+}
+
+func TestSnapshotReleasesLedgerClaim(t *testing.T) {
+	l := snapshotTestLedger(t, 2)
+	claim, err := l.Reserve("app", []NodeClaim{{Hostname: "n00", MemoryMB: 100, CPULoad: 2}}, nil)
+	if err != nil {
+		t.Fatalf("ledger reserve: %v", err)
+	}
+	snap := l.Snapshot()
+	if err := snap.Release(claim.ID); err != nil {
+		t.Fatalf("snapshot release of ledger claim: %v", err)
+	}
+	ns, _ := snap.Node("n00")
+	if ns.FreeMemoryMB != 128 || ns.CPULoad != 0 {
+		t.Fatalf("snapshot after release = %+v, want restored", ns)
+	}
+	// Double release fails in the snapshot.
+	if err := snap.Release(claim.ID); err == nil {
+		t.Fatal("second snapshot release should fail")
+	}
+	// The real claim is still outstanding.
+	if err := l.Release(claim.ID); err != nil {
+		t.Fatalf("ledger release after snapshot release: %v", err)
+	}
+}
+
+func TestSnapshotForkIsolation(t *testing.T) {
+	l := snapshotTestLedger(t, 2)
+	parent := l.Snapshot()
+	if _, err := parent.Reserve("base", []NodeClaim{{Hostname: "n00", MemoryMB: 28, CPULoad: 0.5}}, nil); err != nil {
+		t.Fatalf("parent reserve: %v", err)
+	}
+	forkA := parent.Fork()
+	forkB := parent.Fork()
+	if _, err := forkA.Reserve("a", []NodeClaim{{Hostname: "n00", MemoryMB: 100, CPULoad: 1}}, nil); err != nil {
+		t.Fatalf("forkA reserve: %v", err)
+	}
+	// forkA sees base + its own claim.
+	ns, _ := forkA.Node("n00")
+	if ns.FreeMemoryMB != 0 || ns.CPULoad != 1.5 {
+		t.Fatalf("forkA state = %+v, want 0 MB free, load 1.5", ns)
+	}
+	// forkB sees only the parent's claim.
+	ns, _ = forkB.Node("n00")
+	if ns.FreeMemoryMB != 100 || ns.CPULoad != 0.5 {
+		t.Fatalf("forkB state = %+v, want 100 MB free, load 0.5", ns)
+	}
+	// forkB can reserve the same capacity independently.
+	if _, err := forkB.Reserve("b", []NodeClaim{{Hostname: "n00", MemoryMB: 100, CPULoad: 1}}, nil); err != nil {
+		t.Fatalf("forkB reserve: %v", err)
+	}
+}
+
+func TestSnapshotUnknownEntities(t *testing.T) {
+	l := snapshotTestLedger(t, 2)
+	snap := l.Snapshot()
+	if _, err := snap.Node("missing"); err == nil {
+		t.Fatal("unknown node should error")
+	}
+	if _, err := snap.Link("n00", "missing"); err == nil {
+		t.Fatal("unknown link should error")
+	}
+	if _, err := snap.Reserve("x", []NodeClaim{{Hostname: "missing"}}, nil); err == nil {
+		t.Fatal("reserve on unknown node should error")
+	}
+	if _, err := snap.Reserve("x", nil, []LinkClaim{{A: "n00", B: "missing"}}); err == nil {
+		t.Fatal("reserve on unknown link should error")
+	}
+	if err := snap.Release(9999); err == nil {
+		t.Fatal("release of unknown claim should error")
+	}
+	if _, err := snap.Reserve("x", []NodeClaim{{Hostname: "n00", MemoryMB: 1e9}}, nil); err == nil {
+		t.Fatal("over-capacity reserve should error")
+	}
+}
+
+// TestSnapshotDifferentialProperty drives the same random reserve/release
+// sequence through a live ledger and through a snapshot of its initial
+// state, asserting the visible node/link states stay identical at every
+// step. This is the soundness property the optimizer's hypothetical
+// evaluation relies on.
+func TestSnapshotDifferentialProperty(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		nodes := 2 + rng.Intn(5)
+		ledger := snapshotTestLedger(t, nodes)
+		shadow := snapshotTestLedger(t, nodes)
+		snap := shadow.Snapshot()
+
+		type pair struct{ ledgerID, snapID uint64 }
+		var live []pair
+		for step := 0; step < 60; step++ {
+			if rng.Intn(3) > 0 || len(live) == 0 {
+				host := fmt.Sprintf("n%02d", rng.Intn(nodes))
+				other := fmt.Sprintf("n%02d", rng.Intn(nodes))
+				nc := []NodeClaim{{Hostname: host, MemoryMB: float64(rng.Intn(64)), CPULoad: rng.Float64() * 2}}
+				var lc []LinkClaim
+				if other != host {
+					lc = append(lc, LinkClaim{A: host, B: other, BandwidthMbps: rng.Float64() * 40})
+				}
+				lcl, lerr := ledger.Reserve("o", nc, lc)
+				scl, serr := snap.Reserve("o", nc, lc)
+				if (lerr == nil) != (serr == nil) {
+					t.Fatalf("trial %d step %d: reserve divergence: ledger=%v snapshot=%v", trial, step, lerr, serr)
+				}
+				if lerr == nil {
+					live = append(live, pair{lcl.ID, scl.ID})
+				}
+			} else {
+				i := rng.Intn(len(live))
+				p := live[i]
+				lerr := ledger.Release(p.ledgerID)
+				serr := snap.Release(p.snapID)
+				if (lerr == nil) != (serr == nil) {
+					t.Fatalf("trial %d step %d: release divergence: ledger=%v snapshot=%v", trial, step, lerr, serr)
+				}
+				live = append(live[:i], live[i+1:]...)
+			}
+			lns, sns := ledger.Nodes(), snap.Nodes()
+			if len(lns) != len(sns) {
+				t.Fatalf("trial %d step %d: node count divergence", trial, step)
+			}
+			for k := range lns {
+				if lns[k] != sns[k] {
+					t.Fatalf("trial %d step %d: node %s divergence:\nledger   %+v\nsnapshot %+v",
+						trial, step, lns[k].Node.Hostname, lns[k], sns[k])
+				}
+			}
+			for _, ls := range ledger.Links() {
+				got, err := snap.Link(ls.Link.A, ls.Link.B)
+				if err != nil || got != ls {
+					t.Fatalf("trial %d step %d: link %s divergence: %+v vs %+v (%v)",
+						trial, step, ls.Link.Key(), ls, got, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotBaseCached verifies that snapshots taken while the ledger is
+// unchanged share one immutable base (O(1) capture), and that any ledger
+// mutation produces a fresh base reflecting the new state.
+func TestSnapshotBaseCached(t *testing.T) {
+	ledger := NewLedger()
+	if err := ledger.AddNode(Node{Hostname: "a", Speed: 1, MemoryMB: 64, OS: "linux", CPUs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s1, s2 := ledger.Snapshot(), ledger.Snapshot()
+	if s1.base != s2.base {
+		t.Fatal("unchanged ledger did not share the snapshot base")
+	}
+	claim, err := ledger.Reserve("x", []NodeClaim{{Hostname: "a", MemoryMB: 16, CPULoad: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := ledger.Snapshot()
+	if s3.base == s1.base {
+		t.Fatal("mutated ledger reused a stale snapshot base")
+	}
+	ns, err := s3.Node("a")
+	if err != nil || ns.FreeMemoryMB != 48 {
+		t.Fatalf("fresh base state = %+v, %v", ns, err)
+	}
+	// The old base must still describe the pre-mutation world.
+	old, err := s1.Node("a")
+	if err != nil || old.FreeMemoryMB != 64 {
+		t.Fatalf("old base state mutated: %+v, %v", old, err)
+	}
+	if err := ledger.Release(claim.ID); err != nil {
+		t.Fatal(err)
+	}
+	if s4 := ledger.Snapshot(); s4.base == s3.base {
+		t.Fatal("release did not invalidate the snapshot base cache")
+	}
+}

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Benchmark gate: measure the optimizer's evaluation hot path and fail when
+# it regresses more than BENCH_TOLERANCE_PCT (default 15%) against the
+# committed baseline BENCH_3.json. The comparison is only enforced when the
+# baseline was recorded in a comparable environment (same GOMAXPROCS, OS,
+# arch) — cross-machine deltas are printed as information.
+#
+# Usage:
+#   scripts/bench.sh                 # compare against BENCH_3.json if present
+#   BENCH_OUT=out.json scripts/bench.sh
+#   BENCH_NODES=8,64 scripts/bench.sh   # smaller sweep (CI uses this)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="BENCH_3.json"
+out="${BENCH_OUT:-bench-current.json}"
+nodes="${BENCH_NODES:-8,64,256}"
+tolerance="${BENCH_TOLERANCE_PCT:-15}"
+
+if [ ! -f "$baseline" ]; then
+	echo "bench.sh: no committed baseline ($baseline); measuring without a gate"
+	go run ./cmd/hbench -json "$out" -bench-nodes "$nodes"
+	exit 0
+fi
+
+echo "== hbench hot path (nodes: $nodes, tolerance: ${tolerance}%)"
+go run ./cmd/hbench -json "$out" -bench-nodes "$nodes" -baseline "$baseline" -tolerance "$tolerance"
+
+echo "bench.sh: hot path within ${tolerance}% of $baseline"
