@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz bench
+.PHONY: build test check fuzz bench chaos
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,7 @@ fuzz:
 # Optimizer hot-path benchmark, gated against the committed BENCH_3.json.
 bench:
 	sh scripts/bench.sh
+
+# Seeded chaos soak across the fixed 20-seed matrix (see docs/FAULTS.md).
+chaos:
+	sh scripts/chaos.sh

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	harmonyctl [-addr host:9989] status            # list applications + objective
-//	harmonyctl [-addr host:9989] reevaluate        # force an optimizer pass
+//	harmonyctl [-addr host:9989] [-timeout 10s] status      # list applications + objective
+//	harmonyctl [-addr host:9989] [-timeout 10s] reevaluate  # force an optimizer pass
+//	harmonyctl [-addr host:9989] node down|drain|up <host>  # node lifecycle
 //	harmonyctl vet [-json|-sarif] <file.rsl>...    # static-analyze specs (offline)
 //	harmonyctl lint [-json|-sarif] -cluster <cluster.rsl> <file.rsl>...
+//
+// node marks a machine failed (down: evict and re-place its applications),
+// draining (migrate applications off but accept none back) or healthy
+// again (up: re-admit anything the failure degraded).
 //
 // vet analyzes each spec on its own; lint additionally judges the specs
 // jointly against the cluster's declared capacity (can this workload ever
@@ -21,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"harmony"
 )
@@ -35,6 +41,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("harmonyctl", flag.ContinueOnError)
 	addr := fs.String("addr", fmt.Sprintf("127.0.0.1:%d", harmony.DefaultPort), "Harmony server address")
+	timeout := fs.Duration("timeout", 10*time.Second, "dial and per-write timeout for server commands")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,12 +57,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runVet(fs.Args()[1:], stdin, stdout)
 	case "lint":
 		return runLint(fs.Args()[1:], stdin, stdout)
-	case "status", "reevaluate":
+	case "status", "reevaluate", "node":
 	default:
-		return fmt.Errorf("unknown command %q (want status, reevaluate, vet or lint)", cmd)
+		return fmt.Errorf("unknown command %q (want status, reevaluate, node, vet or lint)", cmd)
 	}
 
-	client, err := harmony.Dial(*addr)
+	client, err := harmony.DialWith(*addr, harmony.DialConfig{
+		Timeout:       *timeout,
+		WriteDeadline: *timeout,
+	})
 	if err != nil {
 		return err
 	}
@@ -84,6 +94,21 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(stdout, "re-evaluation triggered")
+		return nil
+	case "node":
+		if fs.NArg() != 3 {
+			return errors.New("usage: harmonyctl node down|drain|up <host>")
+		}
+		state, host := fs.Arg(1), fs.Arg(2)
+		switch state {
+		case "down", "drain", "draining", "up":
+		default:
+			return fmt.Errorf("unknown node state %q (want down, drain or up)", state)
+		}
+		if err := client.NodeState(host, state); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "node %s marked %s\n", host, state)
 		return nil
 	}
 	panic("unreachable")

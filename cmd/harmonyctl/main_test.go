@@ -50,10 +50,32 @@ func TestUnknownCommandEnumeratesSubcommands(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	for _, want := range []string{"status", "reevaluate", "vet", "lint"} {
+	for _, want := range []string{"status", "reevaluate", "node", "vet", "lint"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not mention subcommand %q", err, want)
 		}
+	}
+}
+
+func TestNodeLifecycleCommands(t *testing.T) {
+	addr := startServer(t)
+	for _, state := range []string{"down", "drain", "up"} {
+		var out strings.Builder
+		if err := run([]string{"-addr", addr, "node", state, "sp2-02"}, nil, &out); err != nil {
+			t.Fatalf("node %s: %v", state, err)
+		}
+		if !strings.Contains(out.String(), state) {
+			t.Errorf("node %s output %q does not echo the state", state, out.String())
+		}
+	}
+	if err := run([]string{"-addr", addr, "node", "down", "no-such-host"}, nil, io.Discard); err == nil {
+		t.Error("node down on unknown host succeeded")
+	}
+	if err := run([]string{"-addr", addr, "node", "sideways", "sp2-02"}, nil, io.Discard); err == nil {
+		t.Error("bogus node state accepted")
+	}
+	if err := run([]string{"-addr", addr, "node", "down"}, nil, io.Discard); err == nil {
+		t.Error("node without host accepted")
 	}
 }
 

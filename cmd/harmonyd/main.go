@@ -8,6 +8,7 @@
 //	harmonyd [-addr :9989] [-sp2 8 | -resources cluster.rsl]
 //	         [-objective mean] [-reeval 30s] [-exhaustive]
 //	         [-vet warn|reject|off]
+//	         [-lease-ttl 30s] [-lease-grace 1m]
 //
 // The resource file contains harmonyNode declarations, e.g.
 //
@@ -47,6 +48,8 @@ func run(args []string) error {
 	reeval := fs.Duration("reeval", 30*time.Second, "periodic re-evaluation interval (virtual time; 0 disables)")
 	exhaustive := fs.Bool("exhaustive", false, "use the exhaustive optimizer instead of greedy")
 	vetFlag := fs.String("vet", "warn", "static-analyze incoming bundles: warn (log findings), reject (refuse error-severity specs, judged jointly with the admitted workload), off")
+	leaseTTL := fs.Duration("lease-ttl", 0, "drop connections silent for this long; clients renew with heartbeats (0 disables)")
+	leaseGrace := fs.Duration("lease-grace", 0, "keep a disconnected client's registration parked this long for session resume (0 unregisters immediately)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,6 +137,8 @@ func run(args []string) error {
 		Controller: ctrl,
 		Bus:        bus,
 		Vet:        vetMode,
+		LeaseTTL:   *leaseTTL,
+		LeaseGrace: *leaseGrace,
 		Logf:       log.Printf,
 	})
 	if err != nil {

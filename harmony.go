@@ -42,6 +42,7 @@
 package harmony
 
 import (
+	"net"
 	"time"
 
 	"harmony/internal/cluster"
@@ -101,6 +102,10 @@ type (
 	ServerConfig = server.Config
 	// Client is the application-side runtime library.
 	Client = hclient.Client
+	// DialConfig tunes client dialing, deadlines and reconnection.
+	DialConfig = hclient.DialConfig
+	// ClientStats counts a client's reconnects, resumes and replays.
+	ClientStats = hclient.Stats
 	// Variable is a Harmony variable handle.
 	Variable = hclient.Variable
 	// VarValue is a Harmony variable value.
@@ -237,9 +242,21 @@ func ListenAndServe(addr string, cfg ServerConfig) (*Server, error) {
 	return server.Listen(addr, cfg)
 }
 
+// Serve runs a Harmony server on an existing listener (for tests and
+// fault-injection wrappers).
+func Serve(ln net.Listener, cfg ServerConfig) (*Server, error) {
+	return server.Serve(ln, cfg)
+}
+
 // Dial connects an application to a Harmony server (harmony_startup and
 // friends live on the returned Client).
 func Dial(addr string) (*Client, error) { return hclient.Dial(addr) }
+
+// DialWith connects like Dial with explicit dial timeouts, write deadlines,
+// heartbeats and automatic reconnection (see DialConfig).
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	return hclient.DialWith(addr, cfg)
+}
 
 // DecodeScript parses an RSL script into bundles and node declarations.
 func DecodeScript(src string) ([]*BundleSpec, []*NodeDecl, error) {

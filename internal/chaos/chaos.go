@@ -1,0 +1,151 @@
+// Package chaos injects deterministic network faults between Harmony
+// clients and the server: dropped connections, delayed and partial writes,
+// and duplicated frames. Wrapping the server's listener with NewListener
+// subjects every accepted connection to a seeded fault schedule, so soak
+// tests can churn clients under realistic failure and replay any run from
+// its seed.
+package chaos
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Config parameterizes fault injection. Probabilities are per-operation
+// (per Read/Write call); zero values disable that fault.
+type Config struct {
+	// Seed makes the fault schedule reproducible: the same seed, config
+	// and operation sequence produce the same faults.
+	Seed int64
+	// DropProb is the chance a write instead severs the connection.
+	DropProb float64
+	// DelayProb is the chance an operation stalls for up to MaxDelay.
+	DelayProb float64
+	// MaxDelay bounds injected stalls; default 10 ms.
+	MaxDelay time.Duration
+	// PartialProb is the chance a write delivers only a prefix and then
+	// severs the connection (a mid-message disconnect).
+	PartialProb float64
+	// DupProb is the chance a write is delivered twice (stutter from a
+	// retransmitting middlebox).
+	DupProb float64
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.MaxDelay == 0 {
+		cfg.MaxDelay = 10 * time.Millisecond
+	}
+	return cfg
+}
+
+// Listener wraps an inner listener, subjecting every accepted connection to
+// the configured faults. Each connection gets its own rng stream derived
+// from the seed and an accept counter, so per-connection schedules are
+// independent but the whole run replays from one seed.
+type Listener struct {
+	net.Listener
+	cfg Config
+
+	mu       sync.Mutex
+	accepted int64
+}
+
+// NewListener wraps ln with fault injection.
+func NewListener(ln net.Listener, cfg Config) *Listener {
+	return &Listener{Listener: ln, cfg: cfg.withDefaults()}
+}
+
+// Accept waits for the next connection and wraps it.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.accepted++
+	n := l.accepted
+	l.mu.Unlock()
+	return &Conn{
+		Conn: nc,
+		cfg:  l.cfg,
+		rng:  rand.New(rand.NewSource(l.cfg.Seed*1000003 + n)),
+	}, nil
+}
+
+// Conn injects faults into one connection's reads and writes. The rng is
+// guarded by mu so concurrent Read/Write keep a coherent schedule.
+type Conn struct {
+	net.Conn
+	cfg Config
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	broken bool
+}
+
+// roll draws the next fault decision.
+func (c *Conn) roll() (drop, delay, partial, dup bool, stall time.Duration, cut int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	drop = c.rng.Float64() < c.cfg.DropProb
+	delay = c.rng.Float64() < c.cfg.DelayProb
+	partial = c.rng.Float64() < c.cfg.PartialProb
+	dup = c.rng.Float64() < c.cfg.DupProb
+	stall = time.Duration(c.rng.Int63n(int64(c.cfg.MaxDelay) + 1))
+	cut = c.rng.Intn(1 << 16)
+	return
+}
+
+// Read delays (never corrupts: TCP wouldn't either) and passes through.
+func (c *Conn) Read(b []byte) (int, error) {
+	_, delay, _, _, stall, _ := c.roll()
+	if delay {
+		time.Sleep(stall)
+	}
+	return c.Conn.Read(b)
+}
+
+// Write applies the scheduled fault: sever, stall, deliver a prefix then
+// sever, or deliver twice. A severed connection errors all later writes.
+func (c *Conn) Write(b []byte) (int, error) {
+	drop, delay, partial, dup, stall, cut := c.roll()
+	c.mu.Lock()
+	broken := c.broken
+	c.mu.Unlock()
+	if broken {
+		return 0, net.ErrClosed
+	}
+	if delay {
+		time.Sleep(stall)
+	}
+	switch {
+	case drop:
+		c.sever()
+		return 0, net.ErrClosed
+	case partial:
+		n := cut % (len(b) + 1)
+		if n > 0 {
+			_, _ = c.Conn.Write(b[:n])
+		}
+		c.sever()
+		return n, net.ErrClosed
+	case dup:
+		n, err := c.Conn.Write(b)
+		if err == nil {
+			_, _ = c.Conn.Write(b)
+		}
+		return n, err
+	default:
+		return c.Conn.Write(b)
+	}
+}
+
+// sever kills the underlying connection for good.
+func (c *Conn) sever() {
+	c.mu.Lock()
+	c.broken = true
+	c.mu.Unlock()
+	_ = c.Conn.Close()
+}

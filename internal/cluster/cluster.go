@@ -151,6 +151,19 @@ func (c *Cluster) AddNode(d *rsl.NodeDecl) error {
 // Ledger exposes the capacity ledger for matching and claims.
 func (c *Cluster) Ledger() *resource.Ledger { return c.ledger }
 
+// SetNodeState transitions a machine's lifecycle state (up, draining,
+// down). Down and draining machines accept no new placements; marking a
+// machine down does not evict existing claims — the controller owns that
+// (Controller.MarkNodeDown) so affected applications are re-harmonized.
+func (c *Cluster) SetNodeState(hostname string, h resource.NodeHealth) error {
+	return c.ledger.SetNodeHealth(hostname, h)
+}
+
+// NodeState reports a machine's lifecycle state.
+func (c *Cluster) NodeState(hostname string) (resource.NodeHealth, error) {
+	return c.ledger.NodeHealth(hostname)
+}
+
 // Hosts returns the sorted hostnames.
 func (c *Cluster) Hosts() []string {
 	c.mu.Lock()
@@ -213,8 +226,8 @@ func (c *Cluster) ContentionFactor() float64 {
 func (c *Cluster) Describe() string {
 	out := ""
 	for _, ns := range c.ledger.Nodes() {
-		out += fmt.Sprintf("node %-10s speed %.2f  mem %5.0f/%5.0f MB  load %.2f  os %s\n",
-			ns.Node.Hostname, ns.Node.Speed, ns.FreeMemoryMB, ns.Node.MemoryMB, ns.CPULoad, ns.Node.OS)
+		out += fmt.Sprintf("node %-10s speed %.2f  mem %5.0f/%5.0f MB  load %.2f  os %s  %s\n",
+			ns.Node.Hostname, ns.Node.Speed, ns.FreeMemoryMB, ns.Node.MemoryMB, ns.CPULoad, ns.Node.OS, ns.Health)
 	}
 	out += fmt.Sprintf("switch utilization %.2f\n", c.SharedSwitchUtilization())
 	return out

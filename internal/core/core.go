@@ -105,6 +105,10 @@ type Event struct {
 	At time.Duration
 	// Initial marks the first configuration after registration.
 	Initial bool
+	// Evicted marks an application that lost its placement to a node
+	// failure and could not be re-placed: it holds no resources and is
+	// degraded until capacity returns (Choice and Assignment are zero).
+	Evicted bool
 }
 
 // Listener receives reconfiguration events. Callbacks run on the goroutine
@@ -170,6 +174,10 @@ type appState struct {
 	lastSwitch   time.Duration
 	registeredAt time.Duration
 	switches     int
+	// degraded marks an app evicted by a node failure that could not be
+	// re-placed; it holds no claim and is excluded from the objective until
+	// a re-evaluation finds room for it again.
+	degraded bool
 }
 
 func (a *appState) owner() string {
@@ -492,6 +500,8 @@ type Snapshot struct {
 	PredictedSeconds float64
 	// Switches counts reconfigurations since registration.
 	Switches int
+	// Degraded marks an app evicted by node failure and not yet re-placed.
+	Degraded bool
 }
 
 // Apps lists registered applications in registration order.
@@ -501,14 +511,19 @@ func (c *Controller) Apps() []Snapshot {
 	out := make([]Snapshot, 0, len(c.order))
 	for _, id := range c.order {
 		a := c.apps[id]
+		var hosts []string
+		if a.assignment != nil {
+			hosts = a.assignment.Hosts()
+		}
 		out = append(out, Snapshot{
 			Instance:         a.instance,
 			App:              a.bundle.App,
 			Bundle:           a.bundle.Name,
 			Choice:           a.choice,
-			Hosts:            a.assignment.Hosts(),
+			Hosts:            hosts,
 			PredictedSeconds: a.predicted,
 			Switches:         a.switches,
+			Degraded:         a.degraded,
 		})
 	}
 	return out
@@ -614,11 +629,16 @@ func (c *Controller) ActiveInstances(appName string) []int {
 	return out
 }
 
-// jobsLocked builds objective inputs from current predictions.
+// jobsLocked builds objective inputs from current predictions. Degraded
+// apps hold no resources and have no meaningful prediction, so they do not
+// contribute to the objective.
 func (c *Controller) jobsLocked() []objective.JobPrediction {
 	jobs := make([]objective.JobPrediction, 0, len(c.order))
 	for _, id := range c.order {
 		a := c.apps[id]
+		if a.degraded {
+			continue
+		}
 		jobs = append(jobs, objective.JobPrediction{App: a.owner(), Seconds: a.predicted})
 	}
 	return jobs
@@ -630,6 +650,9 @@ func (c *Controller) jobsLocked() []objective.JobPrediction {
 func (c *Controller) refreshPredictionsLocked() {
 	for _, id := range c.order {
 		a := c.apps[id]
+		if a.assignment == nil {
+			continue
+		}
 		opt := a.bundle.Option(a.choice.Option)
 		pred, err := c.cachedPredictLocked(opt, a.assignment)
 		if err == nil {
@@ -669,6 +692,7 @@ func (c *Controller) adoptLocked(app *appState, cand candidate, now time.Duratio
 	}
 	app.claim = claim
 	app.assignment = cand.assignment
+	app.degraded = false
 	if !initial && !app.choice.Equal(cand.choice) {
 		app.switches++
 		app.lastSwitch = now

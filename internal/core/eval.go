@@ -173,6 +173,11 @@ func (c *Controller) newEvalContextLocked(app *appState) *evalContext {
 		if other == app {
 			continue
 		}
+		if other.assignment == nil {
+			// Degraded (evicted, not re-placed) apps hold no resources and
+			// contribute neither contention nor an objective term.
+			continue
+		}
 		o := otherApp{
 			owner: other.owner(),
 			opt:   other.bundle.Option(other.choice.Option),

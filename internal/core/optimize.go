@@ -132,8 +132,10 @@ func (c *Controller) reevaluateLocked(now time.Duration, skipInstance int) []Eve
 			continue
 		}
 		// Granularity gate: the application told us how often it can absorb
-		// a change (Table 1, "granularity" tag).
-		if !c.granularityAllowsLocked(app, now) {
+		// a change (Table 1, "granularity" tag). A claimless app holds no
+		// placement at all (evicted or stale), so re-placing it is not a
+		// switch the gate should delay.
+		if app.claim != nil && !c.granularityAllowsLocked(app, now) {
 			continue
 		}
 		best, err := c.bestChoiceLocked(app, now, false)
@@ -184,14 +186,23 @@ type comboResult struct {
 // ledger is only touched if a strictly better combination is adopted — and
 // fans the first application's choices out over the worker pool.
 func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance int) []Event {
+	// Degraded apps are searched separately afterwards: the cross product
+	// requires every participating app to be placeable in a branch, so one
+	// unplaceable evictee would otherwise veto the whole reshuffle.
 	ids := make([]int, 0, len(c.order))
+	var degraded []int
 	for _, id := range c.order {
-		if id != skipInstance {
-			ids = append(ids, id)
+		if id == skipInstance {
+			continue
 		}
+		if c.apps[id].degraded {
+			degraded = append(degraded, id)
+			continue
+		}
+		ids = append(ids, id)
 	}
 	if len(ids) == 0 {
-		return nil
+		return c.readmitDegradedLocked(now, degraded, nil)
 	}
 	base := c.ledger.Snapshot()
 	// Hypothetically release every movable app inside the snapshot.
@@ -217,7 +228,7 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 	if best.combo == nil {
 		// Nothing feasible (shouldn't happen: previous state was feasible).
 		// The ledger was never touched, so every claim is still in place.
-		return nil
+		return c.readmitDegradedLocked(now, degraded, nil)
 	}
 
 	// Adopt: release every movable claim, then reserve the combination in
@@ -250,6 +261,28 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 		if changed {
 			events = append(events, ev)
 		}
+	}
+	return c.readmitDegradedLocked(now, degraded, events)
+}
+
+// readmitDegradedLocked tries a greedy placement for each degraded app
+// (cheapest first by registration order); ones that fit rejoin the system.
+func (c *Controller) readmitDegradedLocked(now time.Duration, degraded []int, events []Event) []Event {
+	for _, id := range degraded {
+		app, ok := c.apps[id]
+		if !ok || !app.degraded {
+			continue
+		}
+		best, err := c.bestChoiceLocked(app, now, false)
+		if err != nil {
+			continue
+		}
+		ev, err := c.adoptLocked(app, best, now, false)
+		if err != nil {
+			c.warnLocked(fmt.Sprintf("core: %s: re-admission failed: %v", app.owner(), err))
+			continue
+		}
+		events = append(events, ev)
 	}
 	return events
 }

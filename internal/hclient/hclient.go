@@ -11,12 +11,20 @@
 // A background reader applies pushed variable updates (the paper's I/O
 // event handler); the application polls Harmony variables at natural phase
 // boundaries and adapts.
+//
+// With DialConfig.Reconnect set, the client survives connection loss: it
+// redials with jittered exponential backoff, first trying to resume its
+// server-side session by resume token (keeping its instance ids without
+// re-running bundle setup), and falling back to a full replay of the
+// startup/bundle_setup/add_variable handshake when the server's lease grace
+// window has lapsed.
 package hclient
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -30,6 +38,11 @@ var (
 	ErrClosed = errors.New("hclient: connection closed")
 	// ErrNotRegistered is returned by End before BundleSetup.
 	ErrNotRegistered = errors.New("hclient: no registered bundle")
+	// ErrReconnecting is returned for a call whose connection broke
+	// mid-flight: the request may or may not have reached the server, so
+	// the client will not blindly retry it. Callers decide whether the
+	// operation is safe to reissue once the connection is back.
+	ErrReconnecting = errors.New("hclient: connection lost mid-call, reconnecting")
 )
 
 // ServerError carries a server-side rejection.
@@ -38,6 +51,59 @@ type ServerError struct {
 }
 
 func (e *ServerError) Error() string { return "hclient: server: " + e.Reason }
+
+// DialConfig tunes connection establishment and resilience. The zero value
+// reproduces the historical behavior: 10 s dial timeout, 10 s write
+// deadline, no heartbeats, no reconnection.
+type DialConfig struct {
+	// Timeout bounds each dial attempt; default 10 s.
+	Timeout time.Duration
+	// WriteDeadline bounds each message write so a wedged peer cannot
+	// block the application forever; default 10 s, negative disables.
+	WriteDeadline time.Duration
+	// HeartbeatInterval, when positive, sends periodic heartbeats to renew
+	// the server-side lease even when the application is quiet.
+	HeartbeatInterval time.Duration
+	// Reconnect enables automatic redial with backoff and session resume
+	// after the connection breaks.
+	Reconnect bool
+	// BackoffBase is the first reconnect delay; default 50 ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff; default 5 s.
+	BackoffMax time.Duration
+	// MaxAttempts bounds dial attempts per outage before the client gives
+	// up and reports ErrClosed; default 10, negative means unlimited.
+	MaxAttempts int
+}
+
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.WriteDeadline == 0 {
+		cfg.WriteDeadline = 10 * time.Second
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax == 0 {
+		cfg.BackoffMax = 5 * time.Second
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 10
+	}
+	return cfg
+}
+
+// Stats counts resilience events since Dial.
+type Stats struct {
+	// Reconnects counts successfully re-established connections.
+	Reconnects uint64
+	// Resumes counts reconnects that kept the session by resume token.
+	Resumes uint64
+	// Replays counts reconnects that re-ran the registration handshake.
+	Replays uint64
+}
 
 // Variable is a Harmony variable: the application reads it periodically and
 // adapts when Harmony changes it (Section 5). Reads are safe from any
@@ -63,15 +129,25 @@ func (v *Variable) Num() float64 { return v.Value().Num }
 // Str returns the string value ("" for numeric variables).
 func (v *Variable) Str() string { return v.Value().Str }
 
+// varDecl remembers one AddVariable call for handshake replay.
+type varDecl struct {
+	name string
+	def  protocol.VarValue
+}
+
 // Client is one application's connection to the Harmony server.
 type Client struct {
-	netConn net.Conn
-	writer  *protocol.Writer
+	addr    string
+	cfg     DialConfig
 	writeMu sync.Mutex
 
 	mu         sync.Mutex
+	netConn    net.Conn
+	writer     *protocol.Writer
+	connGen    uint64
 	vars       map[string]protocol.VarValue
 	declared   map[string]*Variable
+	declOrder  []varDecl
 	instance   int
 	registered bool
 	closed     bool
@@ -81,47 +157,65 @@ type Client struct {
 	replies    map[uint64]chan *protocol.Message
 	readErr    error
 
-	done chan struct{}
+	// Session replay state.
+	appID         string
+	useInterrupts bool
+	started       bool
+	rslText       string
+	resumeToken   string
+
+	// Reconnection state: while reconnecting, calls park on waitCh.
+	reconnecting bool
+	waitCh       chan struct{}
+	stats        Stats
+
+	stop chan struct{}
+	wg   sync.WaitGroup
 }
 
-// Dial connects to a Harmony server.
+// Dial connects to a Harmony server with default configuration.
 func Dial(addr string) (*Client, error) {
-	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	return DialWith(addr, DialConfig{})
+}
+
+// DialWith connects to a Harmony server with explicit configuration.
+func DialWith(addr string, cfg DialConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	nc, err := net.DialTimeout("tcp", addr, cfg.Timeout)
 	if err != nil {
 		return nil, fmt.Errorf("hclient: dial %s: %w", addr, err)
 	}
 	c := &Client{
+		addr:     addr,
+		cfg:      cfg,
 		netConn:  nc,
 		writer:   protocol.NewWriter(nc),
+		connGen:  1,
 		vars:     make(map[string]protocol.VarValue),
 		declared: make(map[string]*Variable),
 		genCh:    make(chan struct{}),
 		replies:  make(map[uint64]chan *protocol.Message),
-		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
 	}
-	go c.readLoop()
+	c.wg.Add(1)
+	go c.readLoop(protocol.NewReader(nc), 1)
+	if cfg.HeartbeatInterval > 0 {
+		c.wg.Add(1)
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
 // readLoop dispatches replies to waiting requests and applies pushed
 // updates; it is the paper's "I/O event handler function ... called when
-// the Harmony process sends variable updates".
-func (c *Client) readLoop() {
-	defer close(c.done)
-	r := protocol.NewReader(c.netConn)
+// the Harmony process sends variable updates". One loop runs per
+// connection generation; a stale loop exits without touching shared state.
+func (c *Client) readLoop(r *protocol.Reader, gen uint64) {
+	defer c.wg.Done()
 	for {
 		msg, err := r.Read()
 		if err != nil {
-			c.mu.Lock()
-			c.readErr = err
-			c.closed = true
-			for _, ch := range c.replies {
-				close(ch)
-			}
-			c.replies = make(map[uint64]chan *protocol.Message)
-			close(c.genCh)
-			c.genCh = nil
-			c.mu.Unlock()
+			c.connBroken(gen, err)
 			return
 		}
 		if msg.Type == protocol.TypeUpdate {
@@ -129,11 +223,275 @@ func (c *Client) readLoop() {
 			continue
 		}
 		c.mu.Lock()
-		if ch, ok := c.replies[msg.Seq]; ok {
-			delete(c.replies, msg.Seq)
-			ch <- msg
+		if gen == c.connGen {
+			if ch, ok := c.replies[msg.Seq]; ok {
+				delete(c.replies, msg.Seq)
+				ch <- msg
+			}
 		}
 		c.mu.Unlock()
+	}
+}
+
+// connBroken reacts to a dead connection: every in-flight call fails, and
+// the client either shuts down (no Reconnect, explicit Close, or never
+// started) or kicks off the reconnect loop.
+func (c *Client) connBroken(gen uint64, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.connGen || c.reconnecting {
+		return // a newer connection exists or recovery is underway
+	}
+	for _, ch := range c.replies {
+		close(ch)
+	}
+	c.replies = make(map[uint64]chan *protocol.Message)
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	if c.closed || !c.cfg.Reconnect || !c.started {
+		c.closed = true
+		if c.genCh != nil {
+			close(c.genCh)
+			c.genCh = nil
+		}
+		return
+	}
+	c.reconnecting = true
+	c.waitCh = make(chan struct{})
+	c.wg.Add(1)
+	go c.reconnectLoop()
+}
+
+// reconnectLoop redials with jittered exponential backoff until the session
+// is restored, Close is called, or the attempt budget runs out.
+func (c *Client) reconnectLoop() {
+	defer c.wg.Done()
+	backoff := c.cfg.BackoffBase
+	for attempt := 1; ; attempt++ {
+		if c.isClosed() {
+			return // Close already released the waiters
+		}
+		nc, err := c.dialOnce()
+		if err == nil {
+			err = c.restoreSession(nc)
+			if err == nil {
+				return
+			}
+			_ = nc.Close()
+			if errors.Is(err, ErrClosed) {
+				return
+			}
+		}
+		if c.cfg.MaxAttempts > 0 && attempt >= c.cfg.MaxAttempts {
+			c.giveUp(fmt.Errorf("hclient: reconnect gave up after %d attempts: %w", attempt, err))
+			return
+		}
+		// Full jitter on [backoff/2, backoff]: enough spread that a herd of
+		// clients dropped by one server restart does not redial in phase.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		backoff *= 2
+		if backoff > c.cfg.BackoffMax {
+			backoff = c.cfg.BackoffMax
+		}
+		select {
+		case <-c.stop:
+			c.giveUp(ErrClosed)
+			return
+		case <-time.After(d):
+		}
+	}
+}
+
+// dialOnce makes one cancellable dial attempt.
+func (c *Client) dialOnce() (net.Conn, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-c.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	var d net.Dialer
+	return d.DialContext(ctx, "tcp", c.addr)
+}
+
+// handshakeTimeout bounds each restore round trip.
+const handshakeTimeout = 10 * time.Second
+
+// restoreSession rebuilds the session on a fresh connection: resume by
+// token when the server still holds the session, full handshake replay
+// otherwise. On success the connection is installed and waiters released.
+func (c *Client) restoreSession(nc net.Conn) error {
+	w := protocol.NewWriter(nc)
+	r := protocol.NewReader(nc)
+	var seq uint64
+	restored := make(map[string]protocol.VarValue)
+	roundTrip := func(msg *protocol.Message) (*protocol.Message, error) {
+		seq++
+		msg.Seq = seq
+		_ = nc.SetDeadline(time.Now().Add(handshakeTimeout))
+		if err := w.Write(msg); err != nil {
+			return nil, err
+		}
+		for {
+			reply, err := r.Read()
+			if err != nil {
+				return nil, err
+			}
+			if reply.Type == protocol.TypeUpdate {
+				// An update racing the handshake (e.g. the resume flush):
+				// fold it into the restored state.
+				for k, v := range reply.Vars {
+					restored[k] = v
+				}
+				continue
+			}
+			if reply.Seq != msg.Seq {
+				continue
+			}
+			return reply, nil
+		}
+	}
+
+	c.mu.Lock()
+	token := c.resumeToken
+	appID, useInterrupts := c.appID, c.useInterrupts
+	rslText, registered := c.rslText, c.registered
+	decls := append([]varDecl(nil), c.declOrder...)
+	c.mu.Unlock()
+
+	resumed := false
+	if token != "" {
+		reply, err := roundTrip(&protocol.Message{Type: protocol.TypeResume, ResumeToken: token})
+		if err != nil {
+			return err
+		}
+		resumed = reply.Type == protocol.TypeAck
+		// A TypeError means the grace window lapsed: fall through to a full
+		// replay on this same connection.
+	}
+	newInstance := 0
+	if !resumed {
+		ack, err := roundTrip(&protocol.Message{Type: protocol.TypeStartup, AppID: appID, UseInterrupts: useInterrupts})
+		if err != nil {
+			return err
+		}
+		if ack.Type != protocol.TypeAck {
+			return &ServerError{Reason: ack.Error}
+		}
+		token = ack.ResumeToken
+		if registered {
+			setup, err := roundTrip(&protocol.Message{Type: protocol.TypeBundleSetup, RSL: rslText})
+			if err != nil {
+				return err
+			}
+			if setup.Type != protocol.TypeAck {
+				return &ServerError{Reason: setup.Error}
+			}
+			newInstance = setup.Instance
+			for k, v := range setup.Vars {
+				restored[k] = v
+			}
+		}
+		for _, d := range decls {
+			if _, err := roundTrip(&protocol.Message{Type: protocol.TypeAddVariable, Name: d.name, Value: d.def}); err != nil {
+				return err
+			}
+		}
+	}
+	_ = nc.SetDeadline(time.Time{})
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	c.netConn = nc
+	c.writer = w
+	c.connGen++
+	gen := c.connGen
+	c.resumeToken = token
+	if newInstance != 0 {
+		c.instance = newInstance
+	}
+	for k, v := range restored {
+		c.vars[k] = v
+	}
+	c.generation++
+	if c.genCh != nil {
+		close(c.genCh)
+		c.genCh = make(chan struct{})
+	}
+	c.stats.Reconnects++
+	if resumed {
+		c.stats.Resumes++
+	} else {
+		c.stats.Replays++
+	}
+	c.reconnecting = false
+	if c.waitCh != nil {
+		close(c.waitCh)
+		c.waitCh = nil
+	}
+	c.wg.Add(1)
+	c.mu.Unlock()
+	go c.readLoop(r, gen)
+	return nil
+}
+
+// giveUp ends the client after reconnection failed for good.
+func (c *Client) giveUp(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readErr == nil || errors.Is(c.readErr, ErrClosed) {
+		c.readErr = err
+	}
+	c.closed = true
+	c.reconnecting = false
+	for _, ch := range c.replies {
+		close(ch)
+	}
+	c.replies = make(map[uint64]chan *protocol.Message)
+	if c.genCh != nil {
+		close(c.genCh)
+		c.genCh = nil
+	}
+	if c.waitCh != nil {
+		close(c.waitCh)
+		c.waitCh = nil
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// heartbeatLoop renews the server-side lease during quiet periods.
+func (c *Client) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			closed, reconnecting := c.closed, c.reconnecting
+			c.mu.Unlock()
+			if closed {
+				return
+			}
+			if reconnecting {
+				continue // the resume itself renews the lease
+			}
+			_, _ = c.call(&protocol.Message{Type: protocol.TypeHeartbeat})
+		}
 	}
 }
 
@@ -150,47 +508,94 @@ func (c *Client) applyUpdate(msg *protocol.Message) {
 	c.mu.Unlock()
 }
 
-// call performs one request/reply round trip.
+// call performs one request/reply round trip. While a reconnect is in
+// progress new calls wait for it; a call whose connection dies mid-flight
+// fails with ErrReconnecting rather than being silently retried.
 func (c *Client) call(msg *protocol.Message) (*protocol.Message, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, ErrClosed
-	}
-	c.nextSeq++
-	msg.Seq = c.nextSeq
-	ch := make(chan *protocol.Message, 1)
-	c.replies[msg.Seq] = ch
-	c.mu.Unlock()
-
-	c.writeMu.Lock()
-	err := c.writer.Write(msg)
-	c.writeMu.Unlock()
-	if err != nil {
+	for {
 		c.mu.Lock()
-		delete(c.replies, msg.Seq)
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if c.reconnecting {
+			ch := c.waitCh
+			c.mu.Unlock()
+			<-ch
+			continue
+		}
+		gen := c.connGen
+		nc, w := c.netConn, c.writer
+		c.nextSeq++
+		msg.Seq = c.nextSeq
+		ch := make(chan *protocol.Message, 1)
+		c.replies[msg.Seq] = ch
 		c.mu.Unlock()
-		return nil, err
+
+		err := c.write(nc, w, msg)
+		if err != nil {
+			c.mu.Lock()
+			delete(c.replies, msg.Seq)
+			reconnect := c.cfg.Reconnect && c.started && !c.closed
+			c.mu.Unlock()
+			if !reconnect {
+				return nil, err
+			}
+			// The write never completed a frame, so reissuing is safe once a
+			// fresh connection exists. Force the break so the read loop
+			// notices immediately instead of waiting for a timeout.
+			_ = nc.Close()
+			c.connBroken(gen, err)
+			continue
+		}
+		reply, ok := <-ch
+		if !ok {
+			c.mu.Lock()
+			closed := c.closed
+			c.mu.Unlock()
+			if closed {
+				return nil, ErrClosed
+			}
+			return nil, ErrReconnecting
+		}
+		if reply.Type == protocol.TypeError {
+			return nil, &ServerError{Reason: reply.Error}
+		}
+		return reply, nil
 	}
-	reply, ok := <-ch
-	if !ok {
-		return nil, ErrClosed
+}
+
+// write sends one framed message under the configured write deadline.
+func (c *Client) write(nc net.Conn, w *protocol.Writer, msg *protocol.Message) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.cfg.WriteDeadline > 0 {
+		_ = nc.SetWriteDeadline(time.Now().Add(c.cfg.WriteDeadline))
+		defer func() { _ = nc.SetWriteDeadline(time.Time{}) }()
 	}
-	if reply.Type == protocol.TypeError {
-		return nil, &ServerError{Reason: reply.Error}
-	}
-	return reply, nil
+	return w.Write(msg)
 }
 
 // Startup registers the program with the Harmony server
 // (harmony_startup).
 func (c *Client) Startup(appID string, useInterrupts bool) error {
-	_, err := c.call(&protocol.Message{
+	reply, err := c.call(&protocol.Message{
 		Type:          protocol.TypeStartup,
 		AppID:         appID,
 		UseInterrupts: useInterrupts,
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.appID = appID
+	c.useInterrupts = useInterrupts
+	c.started = true
+	if reply.ResumeToken != "" {
+		c.resumeToken = reply.ResumeToken
+	}
+	c.mu.Unlock()
+	return nil
 }
 
 // BundleSetup sends an RSL bundle definition (harmony_bundle_setup) and
@@ -204,6 +609,7 @@ func (c *Client) BundleSetup(rslText string) (int, error) {
 	c.mu.Lock()
 	c.instance = reply.Instance
 	c.registered = true
+	c.rslText = rslText
 	for k, v := range reply.Vars {
 		c.vars[k] = v
 	}
@@ -221,6 +627,13 @@ func (c *Client) Instance() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.instance
+}
+
+// Stats reports resilience counters (reconnects, resumes, replays).
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // AddVariable declares a Harmony variable with a default value
@@ -246,6 +659,7 @@ func (c *Client) AddVariable(name string, def protocol.VarValue) (*Variable, err
 	}
 	v := &Variable{name: name, c: c}
 	c.declared[name] = v
+	c.declOrder = append(c.declOrder, varDecl{name: name, def: def})
 	return v, nil
 }
 
@@ -308,6 +722,13 @@ func (c *Client) Report(name string, value float64) error {
 	return err
 }
 
+// Heartbeat sends one explicit lease renewal (usually HeartbeatInterval
+// does this automatically).
+func (c *Client) Heartbeat() error {
+	_, err := c.call(&protocol.Message{Type: protocol.TypeHeartbeat})
+	return err
+}
+
 // End announces the application is about to terminate (harmony_end):
 // Harmony releases and re-evaluates its resources.
 func (c *Client) End() error {
@@ -342,17 +763,35 @@ func (c *Client) Reevaluate() error {
 	return err
 }
 
-// Close tears down the connection and waits for the reader to exit.
+// NodeState asks the server to transition a machine's lifecycle state:
+// "down" evicts and re-harmonizes, "drain" stops new placements and moves
+// movable apps off, "up" returns it to service (used by harmonyctl).
+func (c *Client) NodeState(hostname, state string) error {
+	_, err := c.call(&protocol.Message{Type: protocol.TypeNodeState, Hostname: hostname, State: state})
+	return err
+}
+
+// Close tears down the connection and waits for all client goroutines
+// (reader, heartbeats, any reconnect attempt) to exit.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		<-c.done
+		c.wg.Wait()
 		return nil
 	}
 	c.closed = true
+	nc := c.netConn
+	if c.waitCh != nil {
+		close(c.waitCh)
+		c.waitCh = nil
+	}
 	c.mu.Unlock()
-	err := c.netConn.Close()
-	<-c.done
+	close(c.stop)
+	var err error
+	if nc != nil {
+		err = nc.Close()
+	}
+	c.wg.Wait()
 	return err
 }

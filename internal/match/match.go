@@ -359,6 +359,12 @@ func (m *Matcher) firstFit(states []resource.NodeState, spec *rsl.NodeSpec, gran
 		if spec.HostPattern != "*" && spec.HostPattern != host {
 			continue
 		}
+		if ns.Health != resource.HealthUp {
+			// Draining and down nodes accept no new placements; existing
+			// claims on a draining node survive until their owner moves.
+			lastReason = fmt.Sprintf("%s is %s", host, ns.Health)
+			continue
+		}
 		if spec.HostPattern == "*" && used[host] {
 			lastReason = "remaining hosts already used"
 			continue

@@ -35,6 +35,15 @@ const (
 	TypeStatus MsgType = "status"
 	// TypeReevaluate forces an optimizer pass (harmonyctl).
 	TypeReevaluate MsgType = "reevaluate"
+	// TypeHeartbeat keeps the connection's lease alive without other
+	// traffic; the server replies with an ack.
+	TypeHeartbeat MsgType = "heartbeat"
+	// TypeResume re-binds a parked session after a reconnect, identified by
+	// the resume token issued in the startup ack.
+	TypeResume MsgType = "resume"
+	// TypeNodeState transitions a machine's lifecycle state (harmonyctl
+	// node down|drain|up).
+	TypeNodeState MsgType = "node_state"
 )
 
 // Server-to-client message types.
@@ -119,6 +128,17 @@ type Message struct {
 
 	// Error carries the failure reason for TypeError.
 	Error string `json:"error,omitempty"`
+
+	// ResumeToken identifies a session for lease-grace resumption: issued
+	// in the TypeStartup ack, presented back in TypeResume.
+	ResumeToken string `json:"resumeToken,omitempty"`
+	// Instances lists the instance ids re-bound by a TypeResume ack.
+	Instances []int `json:"instances,omitempty"`
+
+	// Hostname and State carry a node lifecycle transition (TypeNodeState):
+	// State is one of "up", "drain"/"draining", "down".
+	Hostname string `json:"hostname,omitempty"`
+	State    string `json:"state,omitempty"`
 }
 
 // MaxMessageBytes bounds a single wire message.
@@ -159,6 +179,28 @@ func (w *Writer) Write(m *Message) error {
 	return nil
 }
 
+// WireError marks input the peer framed wrongly — an oversized line,
+// non-JSON bytes, or a typeless message — as opposed to an I/O failure.
+// Servers can reply with TypeError and the reason before closing instead of
+// dropping the connection silently.
+type WireError struct {
+	// Reason is a short peer-presentable description.
+	Reason string
+	// Err is the underlying error, if any.
+	Err error
+}
+
+// Error implements error.
+func (e *WireError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("protocol: %s: %v", e.Reason, e.Err)
+	}
+	return "protocol: " + e.Reason
+}
+
+// Unwrap exposes the underlying error.
+func (e *WireError) Unwrap() error { return e.Err }
+
 // Reader deframes messages from a stream. Not safe for concurrent use.
 type Reader struct {
 	s *bufio.Scanner
@@ -171,20 +213,24 @@ func NewReader(r io.Reader) *Reader {
 	return &Reader{s: s}
 }
 
-// Read receives the next message; io.EOF signals a clean close.
+// Read receives the next message; io.EOF signals a clean close. Malformed
+// input (oversized, non-JSON, typeless) is reported as a *WireError.
 func (r *Reader) Read() (*Message, error) {
 	if !r.s.Scan() {
 		if err := r.s.Err(); err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return nil, &WireError{Reason: fmt.Sprintf("line exceeds %d byte limit", MaxMessageBytes), Err: err}
+			}
 			return nil, fmt.Errorf("protocol: read: %w", err)
 		}
 		return nil, io.EOF
 	}
 	var m Message
 	if err := json.Unmarshal(r.s.Bytes(), &m); err != nil {
-		return nil, fmt.Errorf("protocol: unmarshal: %w", err)
+		return nil, &WireError{Reason: "malformed message", Err: err}
 	}
 	if m.Type == "" {
-		return nil, errors.New("protocol: message without type")
+		return nil, &WireError{Reason: "message without type"}
 	}
 	return &m, nil
 }

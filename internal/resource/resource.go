@@ -8,6 +8,7 @@ package resource
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -46,6 +47,48 @@ func (n *Node) Validate() error {
 		return fmt.Errorf("resource: node %s cpus %d must be >= 1", n.Hostname, n.CPUs)
 	}
 	return nil
+}
+
+// NodeHealth is a node's lifecycle state. The zero value is HealthUp, so
+// nodes are schedulable unless explicitly marked otherwise.
+type NodeHealth int
+
+const (
+	// HealthUp accepts new placements.
+	HealthUp NodeHealth = iota
+	// HealthDraining keeps existing claims but refuses new placements, so
+	// the node can be vacated gracefully.
+	HealthDraining
+	// HealthDown is unreachable: no placements, and claims pinned to the
+	// node must be evicted (EvictHost).
+	HealthDown
+)
+
+// String implements fmt.Stringer.
+func (h NodeHealth) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthDraining:
+		return "draining"
+	case HealthDown:
+		return "down"
+	}
+	return fmt.Sprintf("NodeHealth(%d)", int(h))
+}
+
+// ParseNodeHealth parses a lifecycle state name ("up", "draining", "down";
+// "drain" is accepted as an alias for "draining").
+func ParseNodeHealth(s string) (NodeHealth, error) {
+	switch s {
+	case "up":
+		return HealthUp, nil
+	case "draining", "drain":
+		return HealthDraining, nil
+	case "down":
+		return HealthDown, nil
+	}
+	return 0, fmt.Errorf("resource: unknown node health %q (want up, draining or down)", s)
 }
 
 // Link is a network connection between two machines.
@@ -121,6 +164,9 @@ type NodeState struct {
 	FreeMemoryMB float64
 	// CPULoad is the sum of reference-unit CPU demands placed on the node.
 	CPULoad float64
+	// Health is the node's lifecycle state; only HealthUp nodes accept new
+	// placements.
+	Health NodeHealth
 }
 
 // EffectiveSpeed reports the per-job execution speed (reference units) the
@@ -184,6 +230,11 @@ type nodeEntry struct {
 	node    Node
 	freeMem float64
 	cpuLoad float64
+	health  NodeHealth
+}
+
+func (e *nodeEntry) state() NodeState {
+	return NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad, Health: e.health}
 }
 
 type linkEntry struct {
@@ -243,7 +294,62 @@ func (l *Ledger) Node(hostname string) (NodeState, error) {
 	if !ok {
 		return NodeState{}, fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
 	}
-	return NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad}, nil
+	return e.state(), nil
+}
+
+// SetNodeHealth transitions a node's lifecycle state. Claims already placed
+// on the node are unaffected; callers that mark a node down should follow up
+// with EvictHost to reclaim them.
+func (l *Ledger) SetNodeHealth(hostname string, h NodeHealth) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.nodes[hostname]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
+	}
+	if e.health == h {
+		return nil
+	}
+	e.health = h
+	l.snapCache = nil
+	return nil
+}
+
+// NodeHealth reports a node's lifecycle state.
+func (l *Ledger) NodeHealth(hostname string) (NodeHealth, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e, ok := l.nodes[hostname]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
+	}
+	return e.health, nil
+}
+
+// ClaimsOn reports the outstanding claims holding resources on hostname,
+// sorted by id.
+func (l *Ledger) ClaimsOn(hostname string) []*Claim {
+	var out []*Claim
+	for _, c := range l.Claims() {
+		for _, nc := range c.Nodes {
+			if nc.Hostname == hostname {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// EvictHost releases every claim holding resources on hostname (claims are
+// released whole, freeing their reservations on surviving nodes too) and
+// returns the evicted claims so callers can re-place their owners.
+func (l *Ledger) EvictHost(hostname string) []*Claim {
+	evicted := l.ClaimsOn(hostname)
+	for _, c := range evicted {
+		_ = l.Release(c.ID)
+	}
+	return evicted
 }
 
 // Link returns the snapshot state of a link.
@@ -263,7 +369,7 @@ func (l *Ledger) Nodes() []NodeState {
 	defer l.mu.Unlock()
 	out := make([]NodeState, 0, len(l.nodes))
 	for _, e := range l.nodes {
-		out = append(out, NodeState{Node: e.node, FreeMemoryMB: e.freeMem, CPULoad: e.cpuLoad})
+		out = append(out, e.state())
 	}
 	sortNodeStates(out)
 	return out
@@ -399,4 +505,44 @@ func (l *Ledger) TotalMemory() (installed, free float64) {
 		free += ns.FreeMemoryMB
 	}
 	return installed, free
+}
+
+// conservationEpsilon absorbs floating-point drift from repeated
+// reserve/release cycles when checking conservation.
+const conservationEpsilon = 1e-6
+
+// CheckConservation verifies that the outstanding claims exactly account
+// for the capacity missing from every node and link: no resources leaked
+// (missing capacity with no claim to show for it) and none double-freed
+// (claims exceeding the missing capacity). The chaos soak calls this after
+// every churn round to catch eviction/adoption bugs.
+func (l *Ledger) CheckConservation() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wantMem := make(map[string]float64, len(l.nodes))
+	wantLoad := make(map[string]float64, len(l.nodes))
+	wantBw := make(map[string]float64, len(l.links))
+	for _, c := range l.claims {
+		for _, nc := range c.Nodes {
+			wantMem[nc.Hostname] += nc.MemoryMB
+			wantLoad[nc.Hostname] += nc.CPULoad
+		}
+		for _, lc := range c.Links {
+			wantBw[LinkKey(lc.A, lc.B)] += lc.BandwidthMbps
+		}
+	}
+	for h, e := range l.nodes {
+		if used := e.node.MemoryMB - e.freeMem; math.Abs(used-wantMem[h]) > conservationEpsilon {
+			return fmt.Errorf("resource: node %s memory not conserved: %g MB in use, claims total %g MB", h, used, wantMem[h])
+		}
+		if math.Abs(e.cpuLoad-wantLoad[h]) > conservationEpsilon {
+			return fmt.Errorf("resource: node %s load not conserved: %g charged, claims total %g", h, e.cpuLoad, wantLoad[h])
+		}
+	}
+	for k, e := range l.links {
+		if math.Abs(e.reserved-wantBw[k]) > conservationEpsilon {
+			return fmt.Errorf("resource: link %s bandwidth not conserved: %g Mbps reserved, claims total %g Mbps", k, e.reserved, wantBw[k])
+		}
+	}
+	return nil
 }

@@ -30,6 +30,7 @@ type snapNode struct {
 	node    Node
 	freeMem float64
 	cpuLoad float64
+	health  NodeHealth
 }
 
 // snapBase is the immutable capture of a ledger taken by Ledger.Snapshot.
@@ -78,7 +79,7 @@ func (l *Ledger) Snapshot() *Snapshot {
 			nextID: l.nextID,
 		}
 		for h, e := range l.nodes {
-			base.nodes[h] = snapNode{node: e.node, freeMem: e.freeMem, cpuLoad: e.cpuLoad}
+			base.nodes[h] = snapNode{node: e.node, freeMem: e.freeMem, cpuLoad: e.cpuLoad, health: e.health}
 		}
 		for k, e := range l.links {
 			base.links[k] = *e
@@ -162,7 +163,7 @@ func (s *Snapshot) Nodes() []NodeState {
 	out := make([]NodeState, 0, len(s.base.nodes))
 	for h := range s.base.nodes {
 		n, _ := s.lookupNode(h)
-		out = append(out, NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad})
+		out = append(out, NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad, Health: n.health})
 	}
 	sortNodeStates(out)
 	return out
@@ -174,7 +175,7 @@ func (s *Snapshot) Node(hostname string) (NodeState, error) {
 	if !ok {
 		return NodeState{}, fmt.Errorf("%w: %s", ErrUnknownNode, hostname)
 	}
-	return NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad}, nil
+	return NodeState{Node: n.node, FreeMemoryMB: n.freeMem, CPULoad: n.cpuLoad, Health: n.health}, nil
 }
 
 // Link returns the snapshot state of one link.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"harmony/internal/core"
 	"harmony/internal/hclient"
 	"harmony/internal/protocol"
 )
@@ -21,16 +22,28 @@ func rawDial(t *testing.T, srv *Server) net.Conn {
 	return conn
 }
 
+// readWireError expects a TypeError reply mentioning want, then EOF.
+func readWireError(t *testing.T, conn net.Conn, want string) {
+	t.Helper()
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := protocol.NewReader(conn).Read()
+	if err != nil {
+		t.Fatalf("read error reply: %v", err)
+	}
+	if reply.Type != protocol.TypeError || !strings.Contains(reply.Error, want) {
+		t.Fatalf("reply = %+v, want error mentioning %q", reply, want)
+	}
+}
+
 func TestServerSurvivesGarbageBytes(t *testing.T) {
 	srv, ctrl := startTestServer(t, Config{})
 	conn := rawDial(t, srv)
-	if _, err := conn.Write([]byte("this is not json\n\x00\xff\xfe garbage\n")); err != nil {
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
 		t.Fatal(err)
 	}
-	// The connection is dropped, but the server keeps serving others.
-	buf := make([]byte, 64)
-	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	_, _ = conn.Read(buf) // drain until close or deadline
+	// The peer is told why before the connection drops, and the server
+	// keeps serving others.
+	readWireError(t, conn, "malformed message")
 
 	good := dialTest(t, srv)
 	if err := good.Startup("app", false); err != nil {
@@ -47,11 +60,11 @@ func TestServerRejectsTypelessMessage(t *testing.T) {
 	if _, err := conn.Write([]byte("{}\n")); err != nil {
 		t.Fatal(err)
 	}
-	// Reader errors close the connection; a subsequent read returns EOF.
-	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	readWireError(t, conn, "without type")
+	// The reply was a goodbye: the connection is closed afterwards.
 	buf := make([]byte, 16)
 	if n, err := conn.Read(buf); err == nil && n > 0 {
-		t.Fatalf("server replied %q to a typeless message, want close", buf[:n])
+		t.Fatalf("connection still open after wire error: read %q", buf[:n])
 	}
 }
 
@@ -75,12 +88,14 @@ func TestServerRejectsUnknownType(t *testing.T) {
 func TestServerRejectsOversizedLine(t *testing.T) {
 	srv, _ := startTestServer(t, Config{})
 	conn := rawDial(t, srv)
-	// Exceed MaxMessageBytes on one line; the scanner errors and the
-	// connection drops without crashing the server.
+	// Exceed MaxMessageBytes on one line; the server names the limit in an
+	// error reply before dropping the connection.
 	huge := strings.Repeat("x", protocol.MaxMessageBytes+10)
 	if _, err := conn.Write([]byte(huge)); err != nil {
 		// A write error here just means the server closed early — fine.
 		t.Logf("write: %v", err)
+	} else {
+		readWireError(t, conn, "byte limit")
 	}
 	_ = conn.Close()
 
@@ -159,5 +174,232 @@ func TestConcurrentClientChurn(t *testing.T) {
 			t.Fatalf("%d apps leaked after churn", len(ctrl.Apps()))
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// protoSession is a minimal raw-protocol client for lease/resume tests.
+type protoSession struct {
+	conn net.Conn
+	w    *protocol.Writer
+	r    *protocol.Reader
+	seq  uint64
+}
+
+func newProtoSession(t *testing.T, srv *Server) *protoSession {
+	t.Helper()
+	return &protoSession{conn: rawDial(t, srv)}
+}
+
+// call sends a request and waits for its Seq-matched reply, skipping
+// asynchronous updates.
+func (p *protoSession) call(t *testing.T, msg *protocol.Message) *protocol.Message {
+	t.Helper()
+	if p.w == nil {
+		p.w = protocol.NewWriter(p.conn)
+		p.r = protocol.NewReader(p.conn)
+	}
+	p.seq++
+	msg.Seq = p.seq
+	if err := p.w.Write(msg); err != nil {
+		t.Fatalf("write %s: %v", msg.Type, err)
+	}
+	_ = p.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		reply, err := p.r.Read()
+		if err != nil {
+			t.Fatalf("read reply to %s: %v", msg.Type, err)
+		}
+		if reply.Seq != msg.Seq {
+			continue // unsolicited update
+		}
+		if reply.Type == protocol.TypeError {
+			t.Fatalf("%s: server error: %s", msg.Type, reply.Error)
+		}
+		return reply
+	}
+}
+
+func waitForApps(t *testing.T, ctrl *core.Controller, want int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if got := len(ctrl.Apps()); got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("apps = %d, want %d after %v", len(ctrl.Apps()), want, within)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestLeaseExpiryReclaimsResources(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{LeaseTTL: 100 * time.Millisecond})
+	p := newProtoSession(t, srv)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	waitForApps(t, ctrl, 1, time.Second)
+	before, err := ctrl.Ledger().Node("sp2-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.FreeMemoryMB == before.Node.MemoryMB {
+		t.Fatal("registration reserved nothing")
+	}
+	// Go silent: no heartbeat, no traffic. The lease lapses, the server
+	// closes the connection and — with no grace configured — unregisters.
+	waitForApps(t, ctrl, 0, 2*time.Second)
+	after, err := ctrl.Ledger().Node("sp2-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.FreeMemoryMB != after.Node.MemoryMB {
+		t.Fatalf("memory not reclaimed: %g/%g MB free", after.FreeMemoryMB, after.Node.MemoryMB)
+	}
+	if err := ctrl.Ledger().CheckConservation(); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+}
+
+func TestHeartbeatRenewsLease(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{LeaseTTL: 150 * time.Millisecond})
+	p := newProtoSession(t, srv)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	// Heartbeats alone keep the session alive well past several TTLs.
+	for i := 0; i < 8; i++ {
+		time.Sleep(60 * time.Millisecond)
+		p.call(t, &protocol.Message{Type: protocol.TypeHeartbeat})
+	}
+	if got := len(ctrl.Apps()); got != 1 {
+		t.Fatalf("apps = %d after heartbeats, want 1", got)
+	}
+}
+
+func TestMidMessageDisconnectUnregisters(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{})
+	p := newProtoSession(t, srv)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	waitForApps(t, ctrl, 1, time.Second)
+	// Die mid-message: half a JSON object, no newline, then RST-ish close.
+	if _, err := p.conn.Write([]byte(`{"type":"rep`)); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.conn.Close()
+	waitForApps(t, ctrl, 0, 2*time.Second)
+	if err := ctrl.Ledger().CheckConservation(); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+}
+
+func TestSlowLorisLeaseExpires(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{LeaseTTL: 120 * time.Millisecond})
+	conn := rawDial(t, srv)
+	// Dribble bytes that never complete a line: partial frames do not renew
+	// the lease, so the server eventually hangs up on the loris.
+	closed := false
+	for i := 0; i < 100; i++ {
+		if _, err := conn.Write([]byte("x")); err != nil {
+			closed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !closed {
+		// The write side may not observe the close immediately; confirm via
+		// a read.
+		_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		buf := make([]byte, 16)
+		if _, err := conn.Read(buf); err == nil {
+			t.Fatal("slow-loris connection still open after lease TTL")
+		}
+	}
+	// And the server still serves real clients.
+	good := dialTest(t, srv)
+	if err := good.Startup("app", false); err != nil {
+		t.Fatalf("server unhealthy after slow loris: %v", err)
+	}
+	_ = ctrl
+}
+
+func TestResumeWithinGraceKeepsRegistration(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{
+		LeaseTTL:   100 * time.Millisecond,
+		LeaseGrace: 2 * time.Second,
+	})
+	p := newProtoSession(t, srv)
+	ack := p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	if ack.ResumeToken == "" {
+		t.Fatal("startup ack carries no resume token")
+	}
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	inst := setup.Instance
+	// Drop the connection abruptly; the registration is parked, not ended.
+	_ = p.conn.Close()
+	time.Sleep(250 * time.Millisecond) // well past the lease TTL
+	if got := len(ctrl.Apps()); got != 1 {
+		t.Fatalf("apps = %d during grace window, want 1 (parked)", got)
+	}
+	// Reconnect and resume.
+	p2 := newProtoSession(t, srv)
+	rack := p2.call(t, &protocol.Message{Type: protocol.TypeResume, ResumeToken: ack.ResumeToken})
+	if len(rack.Instances) != 1 || rack.Instances[0] != inst {
+		t.Fatalf("resume instances = %v, want [%d]", rack.Instances, inst)
+	}
+	// The resumed connection owns the instance again: end works.
+	p2.call(t, &protocol.Message{Type: protocol.TypeEnd, Instance: inst})
+	waitForApps(t, ctrl, 0, time.Second)
+}
+
+func TestGraceLapseUnregisters(t *testing.T) {
+	srv, ctrl := startTestServer(t, Config{
+		LeaseTTL:   50 * time.Millisecond,
+		LeaseGrace: 150 * time.Millisecond,
+	})
+	p := newProtoSession(t, srv)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	_ = p.conn.Close()
+	// Nobody resumes: after TTL + grace the registration is reclaimed.
+	waitForApps(t, ctrl, 0, 2*time.Second)
+	if err := ctrl.Ledger().CheckConservation(); err != nil {
+		t.Fatalf("conservation: %v", err)
+	}
+	// The lapsed token is no longer resumable.
+	p2 := newProtoSession(t, srv)
+	if p2.w == nil {
+		p2.w = protocol.NewWriter(p2.conn)
+		p2.r = protocol.NewReader(p2.conn)
+	}
+	_ = p2.w.Write(&protocol.Message{Type: protocol.TypeResume, Seq: 1, ResumeToken: "deadbeefdeadbeefdeadbeefdeadbeef"})
+	_ = p2.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := p2.r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeError || !strings.Contains(reply.Error, "unknown or expired") {
+		t.Fatalf("resume of lapsed token: %+v", reply)
+	}
+}
+
+func TestResumeStealsLiveSession(t *testing.T) {
+	// No lease TTL: the server never notices the old connection die, so a
+	// resume must take the session over from the nominally-live conn.
+	srv, ctrl := startTestServer(t, Config{LeaseGrace: 2 * time.Second})
+	p := newProtoSession(t, srv)
+	ack := p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+
+	p2 := newProtoSession(t, srv)
+	rack := p2.call(t, &protocol.Message{Type: protocol.TypeResume, ResumeToken: ack.ResumeToken})
+	if len(rack.Instances) != 1 || rack.Instances[0] != setup.Instance {
+		t.Fatalf("resume instances = %v, want [%d]", rack.Instances, setup.Instance)
+	}
+	// The old connection's eventual death must not unregister anything.
+	_ = p.conn.Close()
+	time.Sleep(100 * time.Millisecond)
+	if got := len(ctrl.Apps()); got != 1 {
+		t.Fatalf("apps = %d after old conn died, want 1", got)
 	}
 }

@@ -9,16 +9,22 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"harmony/internal/core"
 	"harmony/internal/metric"
 	"harmony/internal/namespace"
 	"harmony/internal/protocol"
+	"harmony/internal/resource"
 	"harmony/internal/rsl"
 	"harmony/internal/vet"
 )
@@ -76,6 +82,16 @@ type Config struct {
 	// default logs findings (against the cluster's declared capacities)
 	// without changing accept/reject behavior.
 	Vet VetMode
+	// LeaseTTL, when positive, bounds how long a connection may stay silent
+	// before the server declares it dead and closes it. Any message —
+	// including a bare heartbeat — renews the lease. Zero disables lease
+	// enforcement (connections live until they close).
+	LeaseTTL time.Duration
+	// LeaseGrace, when positive, parks a dying connection's registrations
+	// for this long instead of unregistering them immediately: a client
+	// that reconnects and presents its resume token within the grace window
+	// gets its instances back without re-running bundle setup.
+	LeaseGrace time.Duration
 	// Logf logs server events; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -90,9 +106,20 @@ type Server struct {
 	conns   map[*conn]struct{}
 	byInst  map[int]*conn
 	pending map[int]map[string]protocol.VarValue
+	parked  map[string]*parkedSession
 	closed  bool
 
-	wg sync.WaitGroup
+	stopSweep chan struct{}
+	wg        sync.WaitGroup
+}
+
+// parkedSession holds a dead connection's registrations through the lease
+// grace window, keyed by resume token.
+type parkedSession struct {
+	appID     string
+	instances []int
+	variables map[string]protocol.VarValue
+	timer     *time.Timer
 }
 
 type conn struct {
@@ -100,32 +127,60 @@ type conn struct {
 	netConn net.Conn
 	writeMu sync.Mutex
 	writer  *protocol.Writer
+	// lastSeen is the UnixNano of the last message read (lease renewal).
+	lastSeen atomic.Int64
 
-	mu        sync.Mutex
-	appID     string
-	instances map[int]bool
-	variables map[string]protocol.VarValue
+	mu          sync.Mutex
+	appID       string
+	resumeToken string
+	instances   map[int]bool
+	variables   map[string]protocol.VarValue
+}
+
+func (c *conn) touch() { c.lastSeen.Store(time.Now().UnixNano()) }
+
+// newResumeToken mints an unguessable session identifier.
+func newResumeToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return ""
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Listen starts a server on addr (":0" picks an ephemeral port for tests;
 // the well-known port is protocol.DefaultPort).
 func Listen(addr string, cfg Config) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	srv, err := Serve(ln, cfg)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Serve starts a server on an existing listener (e.g. one wrapped with
+// fault injection by package chaos). The server owns ln and closes it on
+// Close.
+func Serve(ln net.Listener, cfg Config) (*Server, error) {
 	if cfg.Controller == nil {
 		return nil, errors.New("server: config needs a controller")
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("server: listen: %w", err)
-	}
 	s := &Server{
-		cfg:      cfg,
-		listener: ln,
-		conns:    make(map[*conn]struct{}),
-		byInst:   make(map[int]*conn),
-		pending:  make(map[int]map[string]protocol.VarValue),
+		cfg:       cfg,
+		listener:  ln,
+		conns:     make(map[*conn]struct{}),
+		byInst:    make(map[int]*conn),
+		pending:   make(map[int]map[string]protocol.VarValue),
+		parked:    make(map[string]*parkedSession),
+		stopSweep: make(chan struct{}),
 	}
 	if err := cfg.Controller.Subscribe(s.onEvent); err != nil {
 		_ = ln.Close()
@@ -133,7 +188,42 @@ func Listen(addr string, cfg Config) (*Server, error) {
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
+	if cfg.LeaseTTL > 0 {
+		s.wg.Add(1)
+		go s.sweepLeases(cfg.LeaseTTL)
+	}
 	return s, nil
+}
+
+// sweepLeases closes connections whose lease has lapsed. The serve loop's
+// cleanup then parks or unregisters their sessions as configured.
+func (s *Server) sweepLeases(ttl time.Duration) {
+	defer s.wg.Done()
+	interval := ttl / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case now := <-t.C:
+			var idle []*conn
+			s.mu.Lock()
+			for c := range s.conns {
+				if now.Sub(time.Unix(0, c.lastSeen.Load())) > ttl {
+					idle = append(idle, c)
+				}
+			}
+			s.mu.Unlock()
+			for _, c := range idle {
+				s.cfg.Logf("harmony: %s: lease expired, closing", c.netConn.RemoteAddr())
+				_ = c.netConn.Close()
+			}
+		}
+	}
 }
 
 // Addr reports the listening address.
@@ -152,7 +242,12 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	for token, ps := range s.parked {
+		ps.timer.Stop()
+		delete(s.parked, token)
+	}
 	s.mu.Unlock()
+	close(s.stopSweep)
 	err := s.listener.Close()
 	for _, c := range conns {
 		_ = c.netConn.Close()
@@ -275,12 +370,22 @@ func (c *conn) send(m *protocol.Message) error {
 
 func (c *conn) serve() {
 	defer c.cleanup()
+	c.touch()
 	r := protocol.NewReader(c.netConn)
 	for {
 		msg, err := r.Read()
 		if err != nil {
+			// Tell the peer why it is being dropped when the input itself is
+			// at fault (oversized line, garbage bytes, typeless message);
+			// I/O failures get no goodbye — there is nobody left to read it.
+			var we *protocol.WireError
+			if errors.As(err, &we) {
+				c.srv.cfg.Logf("harmony: %s: dropping connection: %s", c.netConn.RemoteAddr(), we.Reason)
+				_ = c.send(errReply("%s", we.Reason))
+			}
 			return
 		}
+		c.touch()
 		reply := c.handle(msg)
 		if reply != nil {
 			reply.Seq = msg.Seq
@@ -298,20 +403,61 @@ func (c *conn) cleanup() {
 	for id := range c.instances {
 		instances = append(instances, id)
 	}
+	sort.Ints(instances)
+	token := c.resumeToken
+	appID := c.appID
+	variables := c.variables
 	c.mu.Unlock()
 	s.mu.Lock()
 	delete(s.conns, c)
 	for _, id := range instances {
-		delete(s.byInst, id)
+		if s.byInst[id] == c {
+			delete(s.byInst, id)
+		}
+	}
+	// Within the grace window a reconnecting client can reclaim its
+	// registrations by resume token; only after it lapses does the dropped
+	// connection become an implicit harmony_end.
+	park := s.cfg.LeaseGrace > 0 && token != "" && len(instances) > 0 && !s.closed
+	if park {
+		ps := &parkedSession{appID: appID, instances: instances, variables: variables}
+		ps.timer = time.AfterFunc(s.cfg.LeaseGrace, func() { s.expireParked(token) })
+		s.parked[token] = ps
+		s.cfg.Logf("harmony: %s: parking %d instance(s) for %v", c.netConn.RemoteAddr(), len(instances), s.cfg.LeaseGrace)
 	}
 	s.mu.Unlock()
-	// A dropped connection is an implicit harmony_end.
-	for _, id := range instances {
-		if _, err := s.cfg.Controller.Unregister(id); err != nil {
-			s.cfg.Logf("harmony: unregister %d on disconnect: %v", id, err)
+	if !park {
+		for _, id := range instances {
+			s.unregisterDead(id)
 		}
 	}
 	_ = c.netConn.Close()
+}
+
+// unregisterDead drops one instance whose owner is gone for good.
+func (s *Server) unregisterDead(id int) {
+	if _, err := s.cfg.Controller.Unregister(id); err != nil {
+		s.cfg.Logf("harmony: unregister %d on disconnect: %v", id, err)
+	}
+	s.mu.Lock()
+	delete(s.pending, id)
+	s.mu.Unlock()
+}
+
+// expireParked ends a parked session whose grace window lapsed unresumed.
+func (s *Server) expireParked(token string) {
+	s.mu.Lock()
+	ps, ok := s.parked[token]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.parked, token)
+	s.mu.Unlock()
+	s.cfg.Logf("harmony: session %s: grace expired, unregistering %d instance(s)", token[:8], len(ps.instances))
+	for _, id := range ps.instances {
+		s.unregisterDead(id)
+	}
 }
 
 func errReply(format string, args ...any) *protocol.Message {
@@ -324,10 +470,23 @@ func (c *conn) handle(msg *protocol.Message) *protocol.Message {
 		if msg.AppID == "" {
 			return errReply("startup requires appId")
 		}
+		token := newResumeToken()
 		c.mu.Lock()
 		c.appID = msg.AppID
+		c.resumeToken = token
 		c.mu.Unlock()
-		return &protocol.Message{Type: protocol.TypeAck, AppID: msg.AppID}
+		return &protocol.Message{Type: protocol.TypeAck, AppID: msg.AppID, ResumeToken: token}
+
+	case protocol.TypeHeartbeat:
+		// The read itself renewed the lease; the ack lets clients measure
+		// liveness round-trips.
+		return &protocol.Message{Type: protocol.TypeAck}
+
+	case protocol.TypeResume:
+		return c.handleResume(msg)
+
+	case protocol.TypeNodeState:
+		return c.handleNodeState(msg)
 
 	case protocol.TypeBundleSetup:
 		return c.handleBundleSetup(msg)
@@ -393,6 +552,104 @@ func (c *conn) handle(msg *protocol.Message) *protocol.Message {
 		return &protocol.Message{Type: protocol.TypeAck}
 	}
 	return errReply("unknown message type %q", msg.Type)
+}
+
+// handleResume re-binds a parked (or still-nominally-live) session to this
+// connection: the client presents the resume token from its startup ack and
+// gets its instance ids back without re-registering.
+func (c *conn) handleResume(msg *protocol.Message) *protocol.Message {
+	token := msg.ResumeToken
+	if token == "" {
+		return errReply("resume requires a resumeToken")
+	}
+	s := c.srv
+	s.mu.Lock()
+	ps, ok := s.parked[token]
+	if ok {
+		delete(s.parked, token)
+		ps.timer.Stop()
+	} else {
+		// The old connection may not have died server-side yet (the lease
+		// has not lapsed): steal the session from it so its eventual cleanup
+		// finds nothing to park or unregister.
+		var old *conn
+		for oc := range s.conns {
+			if oc == c {
+				continue
+			}
+			oc.mu.Lock()
+			match := oc.resumeToken == token
+			oc.mu.Unlock()
+			if match {
+				old = oc
+				break
+			}
+		}
+		if old == nil {
+			s.mu.Unlock()
+			return errReply("resume: unknown or expired token")
+		}
+		old.mu.Lock()
+		ps = &parkedSession{appID: old.appID, variables: old.variables}
+		for id := range old.instances {
+			ps.instances = append(ps.instances, id)
+		}
+		sort.Ints(ps.instances)
+		old.instances = make(map[int]bool)
+		old.variables = make(map[string]protocol.VarValue)
+		old.resumeToken = ""
+		old.mu.Unlock()
+	}
+	c.mu.Lock()
+	c.appID = ps.appID
+	c.resumeToken = token
+	for _, id := range ps.instances {
+		c.instances[id] = true
+	}
+	for k, v := range ps.variables {
+		if _, exists := c.variables[k]; !exists {
+			c.variables[k] = v
+		}
+	}
+	c.mu.Unlock()
+	for _, id := range ps.instances {
+		s.byInst[id] = c
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("harmony: %s: resumed session %s (%d instance(s))", c.netConn.RemoteAddr(), token[:8], len(ps.instances))
+	// Reconfigurations that landed while the client was away are flushed
+	// now; clients must tolerate updates arriving before the resume ack.
+	if !s.cfg.ManualFlush {
+		for _, id := range ps.instances {
+			s.FlushPendingVars(id)
+		}
+	}
+	return &protocol.Message{Type: protocol.TypeAck, ResumeToken: token, Instances: ps.instances}
+}
+
+// handleNodeState applies an operator-driven node lifecycle transition.
+func (c *conn) handleNodeState(msg *protocol.Message) *protocol.Message {
+	if msg.Hostname == "" {
+		return errReply("node_state requires a hostname")
+	}
+	h, err := resource.ParseNodeHealth(msg.State)
+	if err != nil {
+		return errReply("node_state: %v", err)
+	}
+	ctrl := c.srv.cfg.Controller
+	switch h {
+	case resource.HealthDown:
+		_, err = ctrl.MarkNodeDown(msg.Hostname)
+	case resource.HealthDraining:
+		_, err = ctrl.DrainNode(msg.Hostname)
+	case resource.HealthUp:
+		_, err = ctrl.MarkNodeUp(msg.Hostname)
+	}
+	if err != nil {
+		return errReply("node_state: %v", err)
+	}
+	c.srv.cfg.Logf("harmony: node %s marked %s by %s", msg.Hostname, h, c.netConn.RemoteAddr())
+	return &protocol.Message{Type: protocol.TypeAck, Hostname: msg.Hostname, State: h.String()}
 }
 
 func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
