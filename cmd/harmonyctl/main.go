@@ -8,6 +8,7 @@
 //	harmonyctl [-addr host:9989] node down|drain|up <host>  # node lifecycle
 //	harmonyctl vet [-json|-sarif] <file.rsl>...    # static-analyze specs (offline)
 //	harmonyctl lint [-json|-sarif] -cluster <cluster.rsl> <file.rsl>...
+//	harmonyctl analyze [-json] [-cluster <cluster.rsl>] <file.rsl>...
 //
 // node marks a machine failed (down: evict and re-place its applications),
 // draining (migrate applications off but accept none back) or healthy
@@ -17,6 +18,11 @@
 // jointly against the cluster's declared capacity (can this workload ever
 // fit?). Passing "-" as a file reads RSL from standard input. Both exit
 // non-zero when any error-severity diagnostic is found.
+//
+// analyze prints each bundle's per-option bound vectors (interval facts —
+// node counts, memory, bandwidth, model range — valid for every variable
+// binding and grant), its dominance partial order, and, when -cluster is
+// given, options provably unable to ever match the declared capacity.
 package main
 
 import (
@@ -50,16 +56,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		cmd = fs.Arg(0)
 	}
 
-	// vet and lint are fully offline; the remaining commands talk to a
-	// server.
+	// vet, lint and analyze are fully offline; the remaining commands talk
+	// to a server.
 	switch cmd {
 	case "vet":
 		return runVet(fs.Args()[1:], stdin, stdout)
 	case "lint":
 		return runLint(fs.Args()[1:], stdin, stdout)
+	case "analyze":
+		return runAnalyze(fs.Args()[1:], stdin, stdout)
 	case "status", "reevaluate", "node":
 	default:
-		return fmt.Errorf("unknown command %q (want status, reevaluate, node, vet or lint)", cmd)
+		return fmt.Errorf("unknown command %q (want status, reevaluate, node, vet, lint or analyze)", cmd)
 	}
 
 	client, err := harmony.DialWith(*addr, harmony.DialConfig{
@@ -197,6 +205,62 @@ func runVet(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if errFiles > 0 {
 		return fmt.Errorf("vet: errors in %d of %d file(s)", errFiles, len(reports))
+	}
+	return nil
+}
+
+// runAnalyze prints each bundle's bound vectors and dominance partial
+// order (text or JSON); with -cluster it additionally reports options
+// provably unreachable against the declared capacity.
+func runAnalyze(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("harmonyctl analyze", flag.ContinueOnError)
+	clusterFile := fs.String("cluster", "", "RSL file declaring harmonyNodes to prove options unreachable against")
+	jsonOut := fs.Bool("json", false, "emit the analysis as a JSON array of bundle reports")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return errors.New("analyze: no files given (usage: harmonyctl analyze [-json] [-cluster <cluster.rsl>] <file.rsl>...)")
+	}
+	stdinUsed := false
+	var decls []*harmony.NodeDecl
+	if *clusterFile != "" {
+		name, src, err := readSpec(*clusterFile, stdin, &stdinUsed)
+		if err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+		_, decls, err = harmony.DecodeScript(src)
+		if err != nil {
+			return fmt.Errorf("analyze: cluster %s: %w", name, err)
+		}
+		if len(decls) == 0 {
+			return fmt.Errorf("analyze: cluster %s declares no harmonyNodes", name)
+		}
+	}
+	var reports []*harmony.AnalyzeBundleReport
+	for _, file := range fs.Args() {
+		name, src, err := readSpec(file, stdin, &stdinUsed)
+		if err != nil {
+			return fmt.Errorf("analyze: %w", err)
+		}
+		bundles, extra, err := harmony.DecodeScript(src)
+		if err != nil {
+			return fmt.Errorf("analyze: %s: %w", name, err)
+		}
+		// harmonyNode declarations inside the analyzed files extend the
+		// cluster, matching how the server would see them.
+		decls = append(decls, extra...)
+		for _, b := range bundles {
+			reports = append(reports, harmony.AnalyzeBundle(b, decls))
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(reports)
+	}
+	for _, rep := range reports {
+		rep.WriteText(stdout)
 	}
 	return nil
 }

@@ -50,7 +50,7 @@ func TestUnknownCommandEnumeratesSubcommands(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown command accepted")
 	}
-	for _, want := range []string{"status", "reevaluate", "node", "vet", "lint"} {
+	for _, want := range []string{"status", "reevaluate", "node", "vet", "lint", "analyze"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("error %q does not mention subcommand %q", err, want)
 		}
@@ -244,5 +244,68 @@ func TestLintFlagValidation(t *testing.T) {
 	if err := run([]string{"lint", "-cluster", empty, spec}, nil, io.Discard); err == nil ||
 		!strings.Contains(err.Error(), "harmonyNode") {
 		t.Errorf("nodeless cluster not refused: %v", err)
+	}
+}
+
+// domSpec has an option provably dominated by an earlier sibling and one
+// whose memory lower bound can exceed a small cluster.
+const domSpec = `harmonyBundle App:1 b {
+	{lead {variable n {1 2}} {node w * {memory {n * 4}} {replicate n}} {performance {{1 10} {2 8}}}}
+	{copy {variable n {1 2}} {node w * {memory {n * 4}} {replicate n}} {performance {{1 12} {2 8}}}}
+	{hog {node w * {memory 1000}}}
+}
+`
+
+func TestAnalyzeText(t *testing.T) {
+	spec := writeSpec(t, "dom.rsl", domSpec)
+	var sb strings.Builder
+	if err := run([]string{"analyze", spec}, nil, &sb); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"bundle App:b", "option lead", "memory MB      [4, 16]",
+		"model seconds  [8, 10]", "copy < lead (identical-requirements"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "unreachable") {
+		t.Errorf("unreachability reported without a cluster:\n%s", out)
+	}
+}
+
+func TestAnalyzeCluster(t *testing.T) {
+	cluster := writeSpec(t, "cluster.rsl", tinyCluster)
+	spec := writeSpec(t, "dom.rsl", domSpec)
+	var sb strings.Builder
+	if err := run([]string{"analyze", "-cluster", cluster, spec}, nil, &sb); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if !strings.Contains(sb.String(), "unreachable: needs at least 1000 MB") {
+		t.Errorf("hog not proven unreachable against the tiny cluster:\n%s", sb.String())
+	}
+}
+
+func TestAnalyzeJSON(t *testing.T) {
+	spec := writeSpec(t, "dom.rsl", domSpec)
+	var sb strings.Builder
+	if err := run([]string{"analyze", "-json", spec}, nil, &sb); err != nil {
+		t.Fatalf("analyze -json: %v", err)
+	}
+	var reports []*harmony.AnalyzeBundleReport
+	if err := json.Unmarshal([]byte(sb.String()), &reports); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if len(reports) != 1 || len(reports[0].Options) != 3 {
+		t.Fatalf("unexpected reports: %+v", reports)
+	}
+	if got := reports[0].Options[1].DominatedBy; got != "lead" {
+		t.Errorf("copy dominated_by = %q, want lead", got)
+	}
+}
+
+func TestAnalyzeNoFiles(t *testing.T) {
+	if err := run([]string{"analyze"}, nil, io.Discard); err == nil {
+		t.Fatal("analyze without files succeeded")
 	}
 }

@@ -45,6 +45,7 @@ import (
 	"net"
 	"time"
 
+	"harmony/internal/bounds"
 	"harmony/internal/cluster"
 	"harmony/internal/core"
 	"harmony/internal/hclient"
@@ -185,6 +186,23 @@ const (
 	// VetModeReject refuses bundles with error-severity findings.
 	VetModeReject = server.VetReject
 )
+
+// Bound-vector analysis types (package bounds): interval facts about
+// options that hold for every variable binding and grant.
+type (
+	// AnalyzeBundleReport is one bundle's bound vectors, dominance partial
+	// order and unreachability verdicts.
+	AnalyzeBundleReport = bounds.BundleReport
+	// AnalyzeOptionReport is one option's entry in an AnalyzeBundleReport.
+	AnalyzeOptionReport = bounds.OptionReport
+)
+
+// AnalyzeBundle computes a bundle's per-option bound vectors and dominance
+// partial order; with cluster declarations it additionally proves options
+// unreachable against declared capacity (harmonyctl analyze).
+func AnalyzeBundle(b *BundleSpec, decls []*NodeDecl) *AnalyzeBundleReport {
+	return bounds.Analyze(b, decls)
+}
 
 // VetScript statically analyzes an RSL script.
 func VetScript(src string, opts VetOptions) *VetReport { return vet.Script(src, opts) }

@@ -156,6 +156,11 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the serial path. Parallel and serial runs pick
 	// byte-identical winners (see internal/core/eval.go).
 	EvalWorkers int
+	// DisablePruning turns off static candidate pruning (see
+	// internal/core/prune.go). Pruning is semantics-preserving — winners,
+	// predictions and objectives are bit-identical either way — so this
+	// knob exists for measurement and differential testing, not safety.
+	DisablePruning bool
 	// WarnFunc, when set, receives controller warnings (friction
 	// expressions that fail to evaluate, stale claims, failed rollbacks) as
 	// they are raised. It runs with the controller lock held and must not
@@ -178,6 +183,9 @@ type appState struct {
 	// re-placed; it holds no claim and is excluded from the objective until
 	// a re-evaluation finds room for it again.
 	degraded bool
+	// static caches the bundle's choice enumeration and per-choice pruning
+	// analysis (bundles are immutable after registration).
+	static *bundleStatic
 }
 
 func (a *appState) owner() string {
@@ -201,10 +209,15 @@ type Controller struct {
 	stopped      bool
 
 	// predMemo caches committed-state predictions keyed by (option,
-	// assignment fingerprint); cleared on every ledger mutation.
+	// assignment fingerprint, excluded claim); cleared on every ledger
+	// mutation.
 	predMemo   map[predMemoKey]predict.Prediction
 	memoHits   uint64
 	memoMisses uint64
+	// prune counts static-pruning activity; monotoneObjective gates the
+	// model-based dominance rule (see internal/core/prune.go).
+	prune             PruneStats
+	monotoneObjective bool
 	// warnings is a bounded ring of recent controller warnings.
 	warnings []string
 }
@@ -258,12 +271,13 @@ func New(cfg Config) (*Controller, error) {
 		}
 	}
 	return &Controller{
-		cfg:       cfg,
-		ledger:    ledger,
-		matcher:   matcher,
-		predictor: predict.New(ledger),
-		ns:        namespace.New(),
-		apps:      make(map[int]*appState),
+		cfg:               cfg,
+		ledger:            ledger,
+		matcher:           matcher,
+		predictor:         predict.New(ledger),
+		ns:                namespace.New(),
+		apps:              make(map[int]*appState),
+		monotoneObjective: isMonotoneObjective(cfg.Objective),
 	}, nil
 }
 
@@ -291,6 +305,7 @@ func (c *Controller) SetObjective(fn objective.Func) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.cfg.Objective = fn
+	c.monotoneObjective = isMonotoneObjective(fn)
 	return nil
 }
 

@@ -442,6 +442,7 @@ func TestOptimizerDocInSync(t *testing.T) {
 	for _, sym := range []string{
 		"EvalWorkers", "WarnFunc", "Warnings", "MemoStats",
 		"Snapshot", "Fork", "Fingerprint", "Reevaluate",
+		"PruneStats", "DisablePruning",
 	} {
 		if !strings.Contains(string(doc), sym) {
 			t.Errorf("docs/OPTIMIZER.md does not mention %s", sym)

@@ -112,8 +112,9 @@ func (c *Controller) expandGrants(opt *rsl.OptionSpec, varSets []map[string]floa
 // stays in place until adoption. When forInitial is true, the friction of
 // the chosen option is not charged (nothing is switching).
 func (c *Controller) bestChoiceLocked(app *appState, now time.Duration, forInitial bool) (candidate, error) {
-	choices := c.enumerateChoices(app.bundle)
+	bs := c.staticForLocked(app)
 	ctx := c.newEvalContextLocked(app)
+	choices := c.pruneChoicesLocked(bs, app.choice, ctx.base)
 	results := c.evaluateChoices(ctx, choices)
 	return c.reduceCandidatesLocked(app, results, forInitial)
 }
@@ -218,7 +219,11 @@ func (c *Controller) reevaluateExhaustiveLocked(now time.Duration, skipInstance 
 	}
 	perApp := make([][]Choice, len(ids))
 	for i, id := range ids {
-		perApp[i] = c.enumerateChoices(c.apps[id].bundle)
+		app := c.apps[id]
+		// Prune against the all-released base: reservations at deeper
+		// search levels only shrink capacity, so a candidate infeasible
+		// here is infeasible in every branch.
+		perApp[i] = c.pruneChoicesLocked(c.staticForLocked(app), app.choice, base)
 	}
 
 	best := c.searchExhaustive(base, ids, perApp, skipInstance)

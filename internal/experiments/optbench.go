@@ -60,8 +60,17 @@ type OptBenchPoint struct {
 	ParallelEvalsPerSec float64 `json:"parallel_evals_per_sec"`
 	Speedup             float64 `json:"speedup"`
 	MemoHitRate         float64 `json:"memo_hit_rate"`
-	SerialIters         int     `json:"serial_iters"`
-	ParallelIters       int     `json:"parallel_iters"`
+	// MemoHits/MemoMisses and the Prune* counters are deltas over the
+	// serial measurement window (the same window MemoHitRate is computed
+	// from), so points are comparable across runs of different lengths
+	// only via their per-iteration ratios.
+	MemoHits         uint64 `json:"memo_hits"`
+	MemoMisses       uint64 `json:"memo_misses"`
+	PruneConsidered  uint64 `json:"prune_considered"`
+	PruneUnreachable uint64 `json:"prune_unreachable"`
+	PruneDominated   uint64 `json:"prune_dominated"`
+	SerialIters      int    `json:"serial_iters"`
+	ParallelIters    int    `json:"parallel_iters"`
 }
 
 // OptBenchReport is the machine-readable benchmark output (BENCH_3.json).
@@ -249,8 +258,10 @@ func runOptBenchPoint(shape string, nodes, parWorkers int, minDur time.Duration,
 	apps := len(serial.Apps())
 
 	h0, m0 := serial.MemoStats()
+	p0 := serial.PruneStats()
 	serialNs, serialIters := measureReevals(serial, sClock, minDur, maxIters)
 	h1, m1 := serial.MemoStats()
+	p1 := serial.PruneStats()
 	parNs, parIters := measureReevals(par, pClock, minDur, maxIters)
 
 	// The two controllers ran identical workloads; their steady-state
@@ -284,6 +295,11 @@ func runOptBenchPoint(shape string, nodes, parWorkers int, minDur time.Duration,
 		SerialIters:         serialIters,
 		ParallelIters:       parIters,
 		MemoHitRate:         hitRate,
+		MemoHits:            h1 - h0,
+		MemoMisses:          m1 - m0,
+		PruneConsidered:     p1.Considered - p0.Considered,
+		PruneUnreachable:    p1.Unreachable - p0.Unreachable,
+		PruneDominated:      p1.Dominated - p0.Dominated,
 	}
 	if serialNs > 0 {
 		pt.SerialEvalsPerSec = float64(evalsPerPass) / (serialNs / 1e9)
@@ -300,11 +316,16 @@ func runOptBenchPoint(shape string, nodes, parWorkers int, minDur time.Duration,
 func OptBenchResult(report *OptBenchReport) *Result {
 	res := &Result{ID: "B3", Title: "optimizer hot path: serial vs parallel snapshot evaluation"}
 	for _, p := range report.Points {
+		pruned := p.PruneUnreachable + p.PruneDominated
+		prunedPct := 0.0
+		if p.PruneConsidered > 0 {
+			prunedPct = 100 * float64(pruned) / float64(p.PruneConsidered)
+		}
 		res.Rows = append(res.Rows, fmt.Sprintf(
-			"%-5s n=%-4d apps=%-4d choices/pass=%-5d serial=%.2fms parallel=%.2fms speedup=%.2fx evals/s=%.0f memo=%.0f%%",
+			"%-5s n=%-4d apps=%-4d choices/pass=%-5d serial=%.2fms parallel=%.2fms speedup=%.2fx evals/s=%.0f memo=%.0f%% pruned=%.0f%%",
 			p.Shape, p.Nodes, p.Apps, p.ChoicesPerPass,
 			p.SerialNsPerReeval/1e6, p.ParallelNsPerReeval/1e6, p.Speedup,
-			p.ParallelEvalsPerSec, p.MemoHitRate*100))
+			p.ParallelEvalsPerSec, p.MemoHitRate*100, prunedPct))
 	}
 	allPositive := true
 	for _, p := range report.Points {

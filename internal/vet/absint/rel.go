@@ -1,0 +1,203 @@
+package absint
+
+import (
+	"harmony/internal/rsl"
+)
+
+// This file adds a *relational* layer to the interval evaluator. Eval is
+// attribute-independent: Eval(a).Sub(Eval(b)) treats a and b as varying
+// freely, so the difference of {n} and {n} is [-span, span] instead of 0.
+// Diff tracks the correlation instead: it bounds a(x) - b(x) under ONE
+// shared binding x, which is exactly the quantity dominance proofs need
+// ("option B's replicate minus option A's replicate is ⊆ [0, ∞) for every
+// binding"). The structural rules below recover equality through shared
+// subterms; the attribute-independent difference is always Met in, so Diff
+// is never less precise than the naive evaluator.
+
+// ExprEqual reports whether two expressions are structurally identical,
+// using the canonical RSL rendering (parenthesized, operator-explicit) as
+// the structural key. Two equal expressions evaluate identically under any
+// shared environment, since evaluation is deterministic. Nil equals only
+// nil.
+func ExprEqual(a, b rsl.Expr) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	return a.String() == b.String()
+}
+
+// Diff abstracts the difference a(x) - b(x) over every shared environment
+// x drawn from env: for each concrete binding described by env under which
+// both expressions evaluate successfully (without NaN intermediates), the
+// concrete difference lies in Val. MayErr reports whether either side can
+// fail to evaluate; dominance proofs must reject MayErr results, since a
+// binding on which one side errors has no difference at all.
+func Diff(a, b rsl.Expr, env Env) Result {
+	ra, rb := Eval(a, env), Eval(b, env)
+	out := Result{Val: ra.Val.Sub(rb.Val), MayErr: ra.MayErr || rb.MayErr}
+	if v, ok := relDiff(a, b, env); ok {
+		out.Val = Meet(out.Val, v)
+	}
+	return norm(out)
+}
+
+// diffVal is Diff restricted to the interval (for recursive rules).
+func diffVal(a, b rsl.Expr, env Env) Interval {
+	return Diff(a, b, env).Val
+}
+
+// relDiff applies the structural rules. Every returned interval is a sound
+// enclosure of a(x) - b(x) over shared bindings on which both sides
+// evaluate; ok is false when no rule matches (the caller falls back to the
+// attribute-independent difference).
+func relDiff(a, b rsl.Expr, env Env) (Interval, bool) {
+	if ExprEqual(a, b) {
+		return Point(0), true
+	}
+	out, any := Top(), false
+	add := func(iv Interval) {
+		out = Meet(out, iv)
+		any = true
+	}
+
+	// Asymmetric decompositions: (p ⊕ q) - p. The shared subterm takes the
+	// same value on both sides, so the difference is the leftover operand.
+	if x, ok := a.(*rsl.BinaryExpr); ok {
+		switch x.Op {
+		case "+":
+			if ExprEqual(x.L, b) {
+				add(Eval(x.R, env).Val)
+			} else if ExprEqual(x.R, b) {
+				add(Eval(x.L, env).Val)
+			}
+		case "-":
+			if ExprEqual(x.L, b) {
+				add(Eval(x.R, env).Val.Neg())
+			}
+		}
+	}
+	if y, ok := b.(*rsl.BinaryExpr); ok {
+		switch y.Op {
+		case "+":
+			if ExprEqual(y.L, a) {
+				add(Eval(y.R, env).Val.Neg())
+			} else if ExprEqual(y.R, a) {
+				add(Eval(y.L, env).Val.Neg())
+			}
+		case "-":
+			if ExprEqual(y.L, a) {
+				add(Eval(y.R, env).Val)
+			}
+		}
+	}
+
+	switch x := a.(type) {
+	case *rsl.UnaryExpr:
+		if y, ok := b.(*rsl.UnaryExpr); ok && x.Op == "-" && y.Op == "-" {
+			// (-p) - (-q) = q - p.
+			add(diffVal(y.X, x.X, env))
+		}
+	case *rsl.BinaryExpr:
+		y, ok := b.(*rsl.BinaryExpr)
+		if !ok || y.Op != x.Op {
+			break
+		}
+		switch x.Op {
+		case "+":
+			// (p+q) - (r+s) = (p-r) + (q-s), in either pairing.
+			add(diffVal(x.L, y.L, env).Add(diffVal(x.R, y.R, env)))
+			add(diffVal(x.L, y.R, env).Add(diffVal(x.R, y.L, env)))
+		case "-":
+			// (p-q) - (r-s) = (p-r) - (q-s).
+			add(diffVal(x.L, y.L, env).Sub(diffVal(x.R, y.R, env)))
+		case "*":
+			// A structurally shared factor k attains one value per binding,
+			// so k*p - k*q = k * (p-q).
+			if ExprEqual(x.L, y.L) {
+				add(Eval(x.L, env).Val.Mul(diffVal(x.R, y.R, env)))
+			}
+			if ExprEqual(x.R, y.R) {
+				add(Eval(x.R, env).Val.Mul(diffVal(x.L, y.L, env)))
+			}
+			if ExprEqual(x.L, y.R) {
+				add(Eval(x.L, env).Val.Mul(diffVal(x.R, y.L, env)))
+			}
+			if ExprEqual(x.R, y.L) {
+				add(Eval(x.R, env).Val.Mul(diffVal(x.L, y.R, env)))
+			}
+		case "/":
+			// p/k - q/k = (p-q)/k for the shared divisor k.
+			if ExprEqual(x.R, y.R) {
+				add(diffVal(x.L, y.L, env).Div(Eval(x.R, env).Val))
+			}
+		}
+	case *rsl.CondExpr:
+		y, ok := b.(*rsl.CondExpr)
+		if !ok || !ExprEqual(x.Cond, y.Cond) {
+			break
+		}
+		// A shared condition selects the same branch on both sides.
+		c := Eval(x.Cond, env)
+		switch c.Val.Truth() {
+		case TruthTrue:
+			add(diffVal(x.Then, y.Then, env))
+		case TruthFalse:
+			add(diffVal(x.Else, y.Else, env))
+		default:
+			add(Join(diffVal(x.Then, y.Then, env), diffVal(x.Else, y.Else, env)))
+		}
+	case *rsl.CallExpr:
+		y, ok := b.(*rsl.CallExpr)
+		if !ok || y.Fn != x.Fn || len(y.Args) != len(x.Args) {
+			break
+		}
+		switch x.Fn {
+		case "min", "max":
+			// min and max are coordinate-wise non-expansive: with the
+			// minimizing index j on the left and k on the right,
+			// p_j - q_k ≥ p_j - q_j (q_k ≤ q_j) and p_j - q_k ≤ p_k - q_k
+			// (p_j ≤ p_k), so the difference lies in the hull of the
+			// pairwise argument differences. Symmetrically for max.
+			d := diffVal(x.Args[0], y.Args[0], env)
+			for i := 1; i < len(x.Args); i++ {
+				d = Join(d, diffVal(x.Args[i], y.Args[i], env))
+			}
+			add(d)
+		case "abs":
+			// ||p| - |q|| ≤ |p - q| (reverse triangle inequality).
+			m := diffVal(x.Args[0], y.Args[0], env).Abs()
+			if !m.IsEmpty() {
+				add(Of(-m.Hi, m.Hi))
+			}
+		}
+	}
+	if !any {
+		return Interval{}, false
+	}
+	return out, true
+}
+
+// ProvedEqual reports that a(x) == b(x) is proven for every binding x
+// described by env, with neither side able to fail. Nil expressions are
+// equal only to nil.
+func ProvedEqual(a, b rsl.Expr, env Env) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	d := Diff(a, b, env)
+	if d.MayErr {
+		return false
+	}
+	v, ok := d.Val.IsPoint()
+	return ok && v == 0
+}
+
+// ProvedLE reports that a(x) <= b(x) is proven for every binding x
+// described by env, with neither side able to fail.
+func ProvedLE(a, b rsl.Expr, env Env) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	d := Diff(a, b, env)
+	return !d.MayErr && !d.Val.IsEmpty() && d.Val.Hi <= 0
+}

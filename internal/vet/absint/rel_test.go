@@ -1,0 +1,164 @@
+package absint_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"harmony/internal/rsl"
+	"harmony/internal/vet/absint"
+)
+
+func TestDiffStructural(t *testing.T) {
+	env := absint.MapEnv{
+		"n": absint.Of(1, 4),
+		"m": absint.Of(0, 10),
+	}
+	cases := []struct {
+		a, b string
+		want absint.Interval
+	}{
+		// Identical expressions cancel exactly, whatever the domain.
+		{"n", "n", absint.Point(0)},
+		{"n * 3 + m", "n * 3 + m", absint.Point(0)},
+		// Asymmetric decomposition: the shared subterm cancels.
+		{"n + 1", "n", absint.Point(1)},
+		{"n", "n + 2", absint.Point(-2)},
+		{"n - 3", "n", absint.Point(-3)},
+		// Matched sums cancel component-wise.
+		{"n + m", "n + 1", absint.Of(-1, 9)},
+		// Shared multiplicative factor: n*2 - n*3 = -n.
+		{"n * 2", "n * 3", absint.Of(-4, -1)},
+		// Shared divisor: n/2 - m/2 = (n-m)/2.
+		{"n / 2", "m / 2", absint.Of(-4.5, 2)},
+		// Shared condition selects the same branch on both sides.
+		{"m > 20 ? 100 : n", "m > 20 ? 100 : n + 1", absint.Point(-1)},
+		// min is non-expansive in its arguments.
+		{"min(n, m)", "min(n + 1, m)", absint.Of(-1, 0)},
+	}
+	for _, tc := range cases {
+		a, b := rsl.MustParseExpr(tc.a), rsl.MustParseExpr(tc.b)
+		d := absint.Diff(a, b, env)
+		if d.MayErr {
+			t.Errorf("Diff(%s, %s): unexpected MayErr", tc.a, tc.b)
+		}
+		if d.Val != tc.want {
+			t.Errorf("Diff(%s, %s) = %v, want %v", tc.a, tc.b, d.Val, tc.want)
+		}
+	}
+}
+
+func TestProved(t *testing.T) {
+	env := absint.MapEnv{"n": absint.Of(1, 4)}
+	n := rsl.MustParseExpr("n")
+	n1 := rsl.MustParseExpr("n + 1")
+	nAlias := rsl.MustParseExpr("n")
+	if !absint.ProvedEqual(n, nAlias, env) {
+		t.Error("ProvedEqual(n, n) = false")
+	}
+	if absint.ProvedEqual(n, n1, env) {
+		t.Error("ProvedEqual(n, n+1) = true")
+	}
+	if !absint.ProvedLE(n, n1, env) {
+		t.Error("ProvedLE(n, n+1) = false")
+	}
+	if absint.ProvedLE(n1, n, env) {
+		t.Error("ProvedLE(n+1, n) = true")
+	}
+	// Division by a maybe-zero variable may error: no facts proven.
+	div := rsl.MustParseExpr("1 / m")
+	envZ := absint.MapEnv{"m": absint.Of(0, 1)}
+	if absint.ProvedEqual(div, div, envZ) {
+		t.Error("ProvedEqual proved a fact about a may-error expression")
+	}
+	if absint.ProvedLE(div, div, envZ) {
+		t.Error("ProvedLE proved a fact about a may-error expression")
+	}
+	// Nil handling: nil equals only nil, and orders with nothing.
+	if !absint.ProvedEqual(nil, nil, env) || absint.ProvedEqual(n, nil, env) {
+		t.Error("nil ProvedEqual semantics wrong")
+	}
+	if absint.ProvedLE(nil, n, env) || absint.ProvedLE(n, nil, env) {
+		t.Error("nil ProvedLE semantics wrong")
+	}
+}
+
+// mutateExpr returns a structural variant of e: a random subtree replaced
+// by a fresh expression. Keeping most of the tree shared exercises the
+// relational rules instead of the attribute-independent fallback.
+func mutateExpr(r *rand.Rand, e rsl.Expr, depth int) rsl.Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		return genExpr(r, 2)
+	}
+	switch n := e.(type) {
+	case *rsl.UnaryExpr:
+		return &rsl.UnaryExpr{Op: n.Op, X: mutateExpr(r, n.X, depth-1)}
+	case *rsl.BinaryExpr:
+		if r.Intn(2) == 0 {
+			return &rsl.BinaryExpr{Op: n.Op, L: mutateExpr(r, n.L, depth-1), R: n.R}
+		}
+		return &rsl.BinaryExpr{Op: n.Op, L: n.L, R: mutateExpr(r, n.R, depth-1)}
+	case *rsl.CondExpr:
+		switch r.Intn(3) {
+		case 0:
+			return &rsl.CondExpr{Cond: mutateExpr(r, n.Cond, depth-1), Then: n.Then, Else: n.Else}
+		case 1:
+			return &rsl.CondExpr{Cond: n.Cond, Then: mutateExpr(r, n.Then, depth-1), Else: n.Else}
+		default:
+			return &rsl.CondExpr{Cond: n.Cond, Then: n.Then, Else: mutateExpr(r, n.Else, depth-1)}
+		}
+	case *rsl.CallExpr:
+		args := append([]rsl.Expr(nil), n.Args...)
+		i := r.Intn(len(args))
+		args[i] = mutateExpr(r, args[i], depth-1)
+		return &rsl.CallExpr{Fn: n.Fn, Args: args}
+	}
+	return genExpr(r, 2)
+}
+
+// TestDiffSoundnessGenerated is the relational soundness property: for
+// generated expression pairs (mostly structural variants of each other)
+// and concrete bindings drawn from the shared abstract environment, the
+// concrete difference a(x) - b(x) lands inside Diff's interval, and a
+// failing side implies MayErr.
+func TestDiffSoundnessGenerated(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := genExpr(r, 4)
+		var b rsl.Expr
+		switch r.Intn(4) {
+		case 0:
+			b = genExpr(r, 4) // unrelated pair: fallback path
+		case 1:
+			b = rsl.MustParseExpr(a.String()) // distinct tree, same structure
+		default:
+			b = mutateExpr(r, a, 4)
+		}
+		both := &rsl.BinaryExpr{Op: "+", L: a, R: b}
+		aenv, cenvs := genEnvs(r, both, true)
+		d := absint.Diff(a, b, aenv)
+		for _, cenv := range cenvs {
+			if anyNaNSub(both, cenv) {
+				continue
+			}
+			va, errA := a.Eval(cenv)
+			vb, errB := b.Eval(cenv)
+			if errA != nil || errB != nil {
+				if !d.MayErr {
+					t.Fatalf("unsound: Diff(%s, %s) has MayErr=false but a side fails (env %v)", a, b, cenv)
+				}
+				continue
+			}
+			if math.IsNaN(va - vb) {
+				continue // same-signed infinities: outside the NaN-free contract
+			}
+			if containsTol(d.Val, va-vb) {
+				continue
+			}
+			if containsTol(absint.Diff(a, b, widenEnv(aenv)).Val, va-vb) {
+				continue
+			}
+			t.Fatalf("unsound: (%s) - (%s) = %g not in %v (env %v)", a, b, va-vb, d.Val, cenv)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"harmony/internal/bounds"
 	"harmony/internal/cluster"
 	"harmony/internal/rsl"
 	"harmony/internal/vet/absint"
@@ -89,6 +90,7 @@ func (a *analysis) checkBundle(b *rsl.BundleSpec) {
 		s.checkOption(opt)
 	}
 	a.checkDominated(b)
+	a.checkUnreachable(b)
 }
 
 func (a *analysis) newScope(b *rsl.BundleSpec, opt *rsl.OptionSpec) *optScope {
@@ -542,91 +544,48 @@ func (s *optScope) describeDemand(spec *rsl.NodeSpec, memMin float64, memOK bool
 	return strings.Join(parts, ", ")
 }
 
-// checkDominated flags options whose requirements are identical to an
-// earlier sibling's but whose performance model is never better: the
-// controller evaluates options in lexical order and keeps the best
-// prediction, so such an option can never be chosen.
+// checkDominated flags options the relational bounds engine proves
+// dominated by an earlier sibling: the controller evaluates options in
+// lexical order and adopts a later candidate only on a strictly better
+// score, so an option an earlier sibling always ties or beats can never
+// be chosen. The proof quantifies over every variable binding, grant and
+// cluster state, and is sound at any domain size — no enumeration.
 func (a *analysis) checkDominated(b *rsl.BundleSpec) {
-	sigs := make([]string, len(b.Options))
+	for _, d := range bounds.Dominance(b) {
+		oj := &b.Options[d.Dominated]
+		a.diag("dominated-option", SevWarn, oj.Pos, b.Name, oj.Name,
+			"%s; this option can never be chosen", d.Detail)
+	}
+}
+
+// checkUnreachable flags options whose resource lower bound — over every
+// variable binding and every admissible grant — exceeds what the declared
+// cluster provides even when idle. Such an option can never be matched in
+// any live state, since live capacity never exceeds declared capacity.
+func (a *analysis) checkUnreachable(b *rsl.BundleSpec) {
+	if len(a.decls) == 0 {
+		return
+	}
+	// The per-spec capacity checks have already run; when one of them
+	// proved a single request unsatisfiable, the aggregate verdict adds
+	// nothing, so keep only the sharper finding.
+	perSpec := make(map[string]bool)
+	for _, d := range a.rep.Diags {
+		if d.Bundle == b.Name && d.Severity == SevError &&
+			(d.Check == "node-unsatisfiable" || d.Check == "replicate-unsatisfiable") {
+			perSpec[d.Option] = true
+		}
+	}
 	for i := range b.Options {
-		sigs[i] = requirementSignature(&b.Options[i])
-	}
-	for j := 1; j < len(b.Options); j++ {
-		for i := 0; i < j; i++ {
-			if sigs[i] != sigs[j] {
-				continue
-			}
-			oi, oj := &b.Options[i], &b.Options[j]
-			switch {
-			case len(oi.Performance) == 0 && len(oj.Performance) == 0:
-				a.diag("dominated-option", SevWarn, oj.Pos, b.Name, oj.Name,
-					"requirements are identical to option %q and neither has a performance model; this option can never be chosen", oi.Name)
-			case modelDominates(oi.Performance, oj.Performance):
-				a.diag("dominated-option", SevWarn, oj.Pos, b.Name, oj.Name,
-					"requirements are identical to option %q and its model is never faster; this option can never be chosen", oi.Name)
-			case modelDominates(oj.Performance, oi.Performance):
-				a.diag("dominated-option", SevWarn, oi.Pos, b.Name, oi.Name,
-					"requirements are identical to option %q and its model is never faster; this option can never be chosen", oj.Name)
-			}
+		opt := &b.Options[i]
+		if perSpec[opt.Name] {
+			continue
+		}
+		if u, ok := bounds.Unreachable(opt, a.decls); ok {
+			a.diag("unreachable-option", SevError, opt.Pos, b.Name, opt.Name,
+				"%s; no cluster state can ever admit this option", u.Reason)
 		}
 	}
-}
-
-// modelDominates reports whether model a is at least as fast as model b at
-// every shared point (both models must cover the same node counts).
-func modelDominates(a, b []rsl.PerfPoint) bool {
-	if len(a) == 0 || len(b) == 0 || len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i].X != b[i].X || a[i].Y > b[i].Y {
-			return false
-		}
-	}
-	return true
-}
-
-// requirementSignature canonically renders everything about an option
-// except its name and performance model.
-func requirementSignature(opt *rsl.OptionSpec) string {
-	var sb strings.Builder
-	for i := range opt.Nodes {
-		spec := &opt.Nodes[i]
-		fmt.Fprintf(&sb, "node|%s|%s", spec.LocalName, spec.HostPattern)
-		for _, name := range sortedTagNames(spec.Tags) {
-			tag := spec.Tags[name]
-			if tag.IsString {
-				fmt.Fprintf(&sb, "|%s=%s", name, tag.Str)
-			} else {
-				fmt.Fprintf(&sb, "|%s=%s%s", name, tag.Op, tag.Expr)
-			}
-		}
-		if spec.Replicate != nil {
-			fmt.Fprintf(&sb, "|replicate=%s", spec.Replicate)
-		}
-		sb.WriteByte('\n')
-	}
-	for i := range opt.Links {
-		ls := &opt.Links[i]
-		fmt.Fprintf(&sb, "link|%s|%s|%s", ls.A, ls.B, ls.Bandwidth)
-		if ls.Latency != nil {
-			fmt.Fprintf(&sb, "|%s", ls.Latency)
-		}
-		sb.WriteByte('\n')
-	}
-	if opt.Communication != nil {
-		fmt.Fprintf(&sb, "comm|%s\n", opt.Communication)
-	}
-	if opt.Granularity != nil {
-		fmt.Fprintf(&sb, "gran|%s\n", opt.Granularity)
-	}
-	if opt.Friction != nil {
-		fmt.Fprintf(&sb, "frict|%s\n", opt.Friction)
-	}
-	for _, v := range opt.Variables {
-		fmt.Fprintf(&sb, "var|%s|%v\n", v.Name, v.Values)
-	}
-	return sb.String()
 }
 
 // --- expression utilities ---

@@ -209,7 +209,8 @@ var checkRegistry = []CheckInfo{
 	{"link-bandwidth", SevWarn, "a link or communication demand exceeds the interconnect capacity even in the best case"},
 	{"perf-point", SevError, "a performance point has a node count below one or a negative time (piecewise-linear interpolation misbehaves)"},
 	{"perf-unsorted", SevWarn, "performance points were listed out of ascending node order (the decoder sorts them; the order given is likely a typo)"},
-	{"dominated-option", SevWarn, "an option has requirements identical to a sibling but a performance model that is never better — it can never be chosen"},
+	{"dominated-option", SevWarn, "an option is provably dominated by an earlier sibling — identical or subsumed requirements with a prediction that is never better — so the controller can never choose it (the relational bounds proof is sound at any variable domain size)"},
+	{"unreachable-option", SevError, "an option's resource lower bound over every variable binding (total memory, distinct hosts, or per-host pinned memory) exceeds the declared cluster's capacity even when idle, so it can never be matched"},
 	{"empty-option", SevWarn, "an option requests no nodes, so it never consumes or releases resources"},
 	{"const-ternary", SevWarn, "a ternary conditional's condition is constant, so one branch is dead"},
 	{"div-zero", SevError, "a division or modulo whose divisor is the constant zero (or, as a warning, may be zero for some variable value)"},

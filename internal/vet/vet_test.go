@@ -16,21 +16,23 @@ var update = flag.Bool("update", false, "rewrite golden files")
 // wantChecks lists, per testdata spec, check IDs that must appear in its
 // report. Golden files pin the exact output; this table documents intent.
 var wantChecks = map[string][]string{
-	"unbound.rsl":   {"unbound-var"},
-	"endpoint.rsl":  {"link-endpoint"},
-	"badmem.rsl":    {"node-unsatisfiable"},
-	"replicate.rsl": {"replicate-unsatisfiable"},
-	"perf.rsl":      {"perf-unsorted", "perf-point"},
-	"deadopt.rsl":   {"dominated-option", "empty-option"},
-	"expr.rsl":      {"const-ternary", "div-zero"},
-	"negative.rsl":  {"negative-tag"},
-	"syntax.rsl":    {"parse"},
-	"decode.rsl":    {"decode"},
-	"dupnode.rsl":   {"dup-node-decl", "node-decl-capacity"},
-	"bandwidth.rsl": {"link-bandwidth"},
-	"skipped.rsl":   {"analysis-skipped", "div-zero", "negative-tag"},
-	"perfrange.rsl": {"perf-model-range"},
-	"clean.rsl":     {},
+	"unbound.rsl":     {"unbound-var"},
+	"endpoint.rsl":    {"link-endpoint"},
+	"badmem.rsl":      {"node-unsatisfiable"},
+	"replicate.rsl":   {"replicate-unsatisfiable"},
+	"perf.rsl":        {"perf-unsorted", "perf-point"},
+	"deadopt.rsl":     {"dominated-option", "empty-option"},
+	"reldom.rsl":      {"dominated-option"},
+	"unreachable.rsl": {"unreachable-option"},
+	"expr.rsl":        {"const-ternary", "div-zero"},
+	"negative.rsl":    {"negative-tag"},
+	"syntax.rsl":      {"parse"},
+	"decode.rsl":      {"decode"},
+	"dupnode.rsl":     {"dup-node-decl", "node-decl-capacity"},
+	"bandwidth.rsl":   {"link-bandwidth"},
+	"skipped.rsl":     {"analysis-skipped", "div-zero", "negative-tag"},
+	"perfrange.rsl":   {"perf-model-range"},
+	"clean.rsl":       {},
 }
 
 func TestGolden(t *testing.T) {

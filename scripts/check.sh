@@ -21,9 +21,54 @@ go test -race ./...
 
 echo "== harmonyctl lint (examples/specs against the reference cluster)"
 sarif_out="${SARIF_OUT:-$(mktemp)}"
+lint_sarif=$(mktemp)
 specs=$(find examples/specs -name '*.rsl' ! -name cluster.rsl | sort)
 # shellcheck disable=SC2086 # word-split the spec list on purpose
-go run ./cmd/harmonyctl lint -sarif -cluster examples/specs/cluster.rsl $specs > "$sarif_out"
-echo "lint SARIF written to $sarif_out"
+go run ./cmd/harmonyctl lint -sarif -cluster examples/specs/cluster.rsl $specs > "$lint_sarif"
+sarifs="$lint_sarif"
+
+# staticcheck and govulncheck run at pinned versions when the module proxy
+# is reachable; offline (sandboxed / air-gapped) environments skip them
+# rather than fail, since every other stage is hermetic. Their SARIF runs
+# are merged into the same artifact the lint stage publishes.
+tools_failed=0
+tools_bin=$(mktemp -d)
+
+echo "== staticcheck (pinned; skipped when the module proxy is unreachable)"
+if GOBIN="$tools_bin" GOFLAGS= go install "honnef.co/go/tools/cmd/staticcheck@${STATICCHECK_VERSION:-2025.1.1}" >/dev/null 2>&1; then
+	sc_sarif=$(mktemp)
+	if "$tools_bin/staticcheck" -f sarif ./... > "$sc_sarif"; then
+		echo "staticcheck clean"
+	else
+		echo "staticcheck found issues (merged into SARIF)" >&2
+		tools_failed=1
+	fi
+	sarifs="$sarifs $sc_sarif"
+else
+	echo "staticcheck unavailable; skipping"
+fi
+
+echo "== govulncheck (pinned; skipped when the module proxy is unreachable)"
+if GOBIN="$tools_bin" GOFLAGS= go install "golang.org/x/vuln/cmd/govulncheck@${GOVULNCHECK_VERSION:-v1.1.4}" >/dev/null 2>&1; then
+	gv_sarif=$(mktemp)
+	if "$tools_bin/govulncheck" -format sarif ./... > "$gv_sarif"; then
+		echo "govulncheck clean"
+	else
+		echo "govulncheck found issues (merged into SARIF)" >&2
+		tools_failed=1
+	fi
+	sarifs="$sarifs $gv_sarif"
+else
+	echo "govulncheck unavailable; skipping"
+fi
+
+# shellcheck disable=SC2086 # word-split the SARIF list on purpose
+go run ./scripts/mergesarif "$sarif_out" $sarifs
+echo "merged SARIF written to $sarif_out"
+
+if [ "$tools_failed" -ne 0 ]; then
+	echo "check.sh: staticcheck/govulncheck found issues" >&2
+	exit 1
+fi
 
 echo "check.sh: all clean"

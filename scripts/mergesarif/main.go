@@ -1,0 +1,27 @@
+// Command mergesarif concatenates the runs arrays of several SARIF 2.1.0
+// logs into one, so check.sh can publish lint, staticcheck and govulncheck
+// findings as a single code-scanning artifact.
+//
+// Usage: mergesarif <out.sarif> <in.sarif>...
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: mergesarif <out.sarif> <in.sarif>...")
+		os.Exit(2)
+	}
+	data, err := mergeFiles(os.Args[2:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mergesarif:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(os.Args[1], data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mergesarif:", err)
+		os.Exit(1)
+	}
+}

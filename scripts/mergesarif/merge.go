@@ -1,0 +1,52 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// sarifLog is the minimal envelope needed to merge: everything inside a
+// run is carried through verbatim.
+type sarifLog struct {
+	Schema  string            `json:"$schema,omitempty"`
+	Version string            `json:"version"`
+	Runs    []json.RawMessage `json:"runs"`
+}
+
+// merge concatenates the runs of the given logs. The first log's schema
+// wins; every input must be version 2.1.0 (or unversioned, tolerated for
+// tools that omit the field).
+func merge(logs []sarifLog) (sarifLog, error) {
+	out := sarifLog{Version: "2.1.0", Runs: []json.RawMessage{}}
+	for i, l := range logs {
+		if l.Version != "" && l.Version != out.Version {
+			return out, fmt.Errorf("input %d: unsupported SARIF version %q", i, l.Version)
+		}
+		if out.Schema == "" {
+			out.Schema = l.Schema
+		}
+		out.Runs = append(out.Runs, l.Runs...)
+	}
+	return out, nil
+}
+
+func mergeFiles(paths []string) ([]byte, error) {
+	logs := make([]sarifLog, 0, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var l sarifLog
+		if err := json.Unmarshal(b, &l); err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		logs = append(logs, l)
+	}
+	out, err := merge(logs)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestMergeConcatenatesRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sarif")
+	b := filepath.Join(dir, "b.sarif")
+	os.WriteFile(a, []byte(`{"$schema":"https://example/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"lint"}}}]}`), 0o644)
+	os.WriteFile(b, []byte(`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"staticcheck"}}},{"tool":{"driver":{"name":"extra"}}}]}`), 0o644)
+
+	data, err := mergeFiles([]string{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sarifLog
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Version != "2.1.0" || out.Schema != "https://example/sarif-2.1.0.json" {
+		t.Fatalf("bad envelope: version=%q schema=%q", out.Version, out.Schema)
+	}
+	if len(out.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(out.Runs))
+	}
+}
+
+func TestMergeRejectsForeignVersions(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sarif")
+	os.WriteFile(a, []byte(`{"version":"1.0.0","runs":[]}`), 0o644)
+	if _, err := mergeFiles([]string{a}); err == nil {
+		t.Fatal("foreign SARIF version accepted")
+	}
+}
+
+func TestMergeSingleInputIsIdentityOnRuns(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.sarif")
+	os.WriteFile(a, []byte(`{"version":"2.1.0","runs":[{"results":[]}]}`), 0o644)
+	data, err := mergeFiles([]string{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out sarifLog
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(out.Runs))
+	}
+}
