@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz bench chaos
+.PHONY: build test check lint fuzz bench chaos
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 # Tier-2 gate: gofmt, go vet, race detector.
 check:
 	sh scripts/check.sh
+
+# Project invariant analyzers (lockdiscipline, viewpurity, memoinvalidation,
+# goroutinelife, protoexhaustive); see docs/ANALYZERS.md.
+lint:
+	$(GO) run ./cmd/harmonylint ./...
 
 # Short fuzz smoke of the parser->decoder->analyzer pipeline.
 fuzz:

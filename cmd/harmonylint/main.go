@@ -1,0 +1,84 @@
+// Command harmonylint runs the project's invariant analyzers (see
+// internal/lint and docs/ANALYZERS.md) over the module's packages.
+//
+// Usage:
+//
+//	harmonylint [-json | -sarif] [-dir moduledir] [packages]
+//
+// Packages default to ./... . Unsuppressed diagnostics are printed to stderr
+// and make the exit status 1; -json and -sarif write the full report
+// (suppressed findings included) to stdout for CI artifacts. Findings are
+// suppressed in source with:
+//
+//	//harmonylint:allow <check> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"harmony/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("harmonylint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "write the full report as JSON to stdout")
+	sarifOut := fs.Bool("sarif", false, "write the full report as SARIF 2.1.0 to stdout")
+	dir := fs.String("dir", ".", "module directory to load packages from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	rep, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	unsuppressed := rep.Unsuppressed()
+	for _, d := range unsuppressed {
+		fmt.Fprintln(stderr, d)
+	}
+	switch {
+	case *jsonOut:
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		stdout.Write(b)
+	case *sarifOut:
+		b, err := rep.SARIF()
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		stdout.Write(b)
+	}
+	if len(unsuppressed) > 0 {
+		fmt.Fprintf(stderr, "harmonylint: %d unsuppressed diagnostic(s)\n", len(unsuppressed))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if got := run([]string{"-nonsense"}, &out, &errb); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+}
+
+// TestRunSARIFOverModule drives the real binary path over a small, known-
+// clean slice of the module and checks the SARIF envelope mergesarif will
+// consume.
+func TestRunSARIFOverModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-sarif", "-dir", "../..", "./internal/protocol"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name string `json:"name"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("stdout is not SARIF JSON: %v", err)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "harmonylint" {
+		t.Fatalf("unexpected SARIF envelope: %s", out.String())
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("internal/protocol should be clean, got results: %s", out.String())
+	}
+}
+
+func TestRunJSONOverModule(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-dir", "../..", "./internal/protocol"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "\"diagnostics\"") {
+		t.Errorf("JSON report missing diagnostics key: %s", out.String())
+	}
+}

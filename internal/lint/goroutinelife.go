@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife proves that every spawned goroutine has a shutdown path, so
+// a stopped server or client cannot leak workers. A `go` statement passes if
+// any of the following holds:
+//
+//   - a sync.WaitGroup Add call appears lexically before it in the enclosing
+//     function (the spawn is tracked and joined);
+//   - the spawned body calls Done on a sync.WaitGroup;
+//   - the spawned body receives from a stop/done/quit/cancel/exit channel or
+//     from a context's Done() channel, directly or via select/range.
+//
+// These are exactly the lease-sweeper, readLoop and worker-pool shapes the
+// server and client use; anything else is a goroutine nothing can stop.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "spawned goroutines must select on a stop/done channel or context, or register with a WaitGroup",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	// Map package functions to their declarations so `go s.readLoop(...)`
+	// can be checked against the named function's body.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goroutineHasLifecycle(pass, fd, g, decls) {
+					pass.Reportf(g.Pos(),
+						"goroutine has no shutdown path: receive from a stop/done channel or ctx.Done(), or register it with a WaitGroup")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func goroutineHasLifecycle(pass *Pass, enclosing *ast.FuncDecl, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	if waitGroupAddBefore(pass, enclosing.Body, g.Pos()) {
+		return true
+	}
+	var body *ast.BlockStmt
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	case *ast.Ident:
+		if obj, ok := pass.Info.Uses[fun].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				body = fd.Body
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj, ok := pass.Info.Uses[fun.Sel].(*types.Func); ok {
+			if fd := decls[obj]; fd != nil {
+				body = fd.Body
+			}
+		}
+	}
+	if body == nil {
+		// Spawning an out-of-package function we cannot see; only the
+		// WaitGroup evidence above could have vouched for it.
+		return false
+	}
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Done" {
+				if tv := pass.Info.Types[sel.X]; tv.Type != nil && isWaitGroup(tv.Type) {
+					ok = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isShutdownRecv(pass, n.X) {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			if tv := pass.Info.Types[n.X]; tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && isShutdownName(lastName(n.X)) {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// waitGroupAddBefore reports whether a sync.WaitGroup Add call occurs in body
+// at a position before pos — the spawn-side half of the Add/Done protocol.
+func waitGroupAddBefore(pass *Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found || n != nil && n.Pos() >= pos {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Add" {
+			if tv := pass.Info.Types[sel.X]; tv.Type != nil && isWaitGroup(tv.Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isShutdownRecv reports whether receiving from e counts as listening for
+// shutdown: a channel whose name signals lifecycle, or a Done() method call
+// (context.Context and friends).
+func isShutdownRecv(pass *Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name == "Done"
+		case *ast.Ident:
+			return fun.Name == "Done"
+		}
+		return false
+	}
+	return isShutdownName(lastName(e))
+}
+
+func lastName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func isShutdownName(name string) bool {
+	name = strings.ToLower(name)
+	for _, kw := range []string{"stop", "done", "quit", "cancel", "exit", "close", "shutdown"} {
+		if strings.Contains(name, kw) {
+			return true
+		}
+	}
+	return false
+}

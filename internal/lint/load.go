@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or a synthetic one for LoadDir).
+	Path string
+	// Dir is the package's source directory.
+	Dir string
+	// Fset resolves positions for Files.
+	Fset *token.FileSet
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds type-checker results for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks this module's packages using only the
+// standard library: target packages are compiled from source with go/types,
+// and their imports are satisfied from the export data `go list -export`
+// leaves in the build cache. The module has no third-party dependencies, so
+// the whole pipeline works offline.
+type Loader struct {
+	// dir is the module root every `go list` invocation runs in.
+	dir string
+	// exports maps import path -> export data file, for every dependency
+	// (in-module and standard library) of the module's packages.
+	exports map[string]string
+	fset    *token.FileSet
+	imp     types.Importer
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Incomplete bool
+}
+
+// goList runs `go list` with the given arguments in the loader's module
+// root and decodes the JSON package stream.
+func goList(dir string, args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewLoader builds a loader rooted at dir (a directory inside the module;
+// "" uses the current directory). It compiles the module once so export
+// data exists for every dependency.
+func NewLoader(dir string) (*Loader, error) {
+	if dir == "" {
+		dir = "."
+	}
+	deps, err := goList(dir, "-deps", "-export", "-json=ImportPath,Export", "./...")
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{dir: dir, exports: make(map[string]string, len(deps)), fset: token.NewFileSet()}
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	l.imp = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for import %q", path)
+		}
+		return os.Open(file)
+	})
+	return l, nil
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load type-checks the packages matched by the go list patterns (e.g.
+// "./..."), in deterministic import-path order. Test files are excluded:
+// the invariants harmonylint proves are about production code.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	listed, err := goList(l.dir, append([]string{"-json=ImportPath,Dir,GoFiles,Incomplete"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(listed, func(i, j int) bool { return listed[i].ImportPath < listed[j].ImportPath })
+	var out []*Package
+	for _, p := range listed {
+		if len(p.GoFiles) == 0 || p.Incomplete {
+			continue
+		}
+		files := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := l.check(p.ImportPath, p.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks every non-test .go file directly inside dir as one
+// package under a synthetic import path. Analyzer golden corpora live in
+// testdata directories the go tool ignores; this entry point loads them.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: read corpus %s: %w", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: corpus %s holds no .go files", dir)
+	}
+	return l.check("harmonylint/corpus/"+filepath.Base(dir), dir, files)
+}
+
+// check parses and type-checks one package from explicit file paths.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	for _, f := range files {
+		parsed, err := parser.ParseFile(l.fset, f, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", f, err)
+		}
+		pkg.Files = append(pkg.Files, parsed)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}

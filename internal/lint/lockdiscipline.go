@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline proves the *Locked naming convention: a function whose name
+// ends in "Locked" runs with its receiver's mutex already held, so (a) it
+// must never lock or unlock that mutex itself, and (b) any other function
+// calling x.fooLocked(...) must hold a mutex field of x at the call site.
+// The check is flow-sensitive: it tracks Lock/Unlock calls through branches,
+// loops and early returns, so the repo's standard shape —
+//
+//	c.mu.Lock()
+//	if bad {
+//	    c.mu.Unlock()
+//	    return err
+//	}
+//	c.adoptLocked(...)
+//
+// — verifies without annotations.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "*Locked functions run with the owning mutex held and never lock or unlock it themselves",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkLockFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// lockState is the abstract state of one mutex path at one program point.
+type lockState int
+
+const (
+	lockUnknown lockState = iota
+	lockHeld
+	lockUnheld
+)
+
+// lockChecker interprets one function body, tracking which mutex paths
+// (dotted identifier chains like "c.mu") are held.
+type lockChecker struct {
+	pass     *Pass
+	locked   bool     // the function under analysis is *Locked
+	recv     string   // its receiver identifier, "" for plain functions
+	ownPaths []string // the receiver's own mutex paths ("c.mu")
+	inLit    bool     // currently interpreting a nested function literal
+	dflt     lockState
+	lits     []*ast.FuncLit
+}
+
+func checkLockFunc(pass *Pass, fd *ast.FuncDecl) {
+	lc := &lockChecker{
+		pass:   pass,
+		locked: strings.HasSuffix(fd.Name.Name, "Locked"),
+		dflt:   lockUnheld,
+	}
+	state := map[string]lockState{}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		name := fd.Recv.List[0].Names[0]
+		lc.recv = name.Name
+		if lc.locked {
+			// By contract the caller already holds every receiver mutex.
+			if obj := pass.Info.Defs[name]; obj != nil {
+				for _, m := range mutexFields(obj.Type()) {
+					path := lc.recv + "." + m
+					lc.ownPaths = append(lc.ownPaths, path)
+					state[path] = lockHeld
+				}
+			}
+		}
+	}
+	lc.exec(state, fd.Body)
+	// Function literals run later (goroutines, callbacks, defers) and cannot
+	// assume anything about the spawning frame's locks, so they start from an
+	// all-unknown environment: only explicit Lock calls inside the literal
+	// establish held state, and nothing is reported on mere uncertainty.
+	lc.inLit = true
+	lc.dflt = lockUnknown
+	for len(lc.lits) > 0 {
+		lit := lc.lits[0]
+		lc.lits = lc.lits[1:]
+		lc.exec(map[string]lockState{}, lit.Body)
+	}
+}
+
+func (lc *lockChecker) lookup(state map[string]lockState, key string) lockState {
+	if v, ok := state[key]; ok {
+		return v
+	}
+	return lc.dflt
+}
+
+func copyState(state map[string]lockState) map[string]lockState {
+	out := make(map[string]lockState, len(state))
+	for k, v := range state {
+		out[k] = v
+	}
+	return out
+}
+
+// setMerged replaces state with the join of the branch exit states: paths
+// agreeing across every branch keep their value, diverging paths become
+// unknown.
+func (lc *lockChecker) setMerged(state map[string]lockState, branches []map[string]lockState) {
+	keys := map[string]bool{}
+	for _, b := range branches {
+		for k := range b {
+			keys[k] = true
+		}
+	}
+	for k := range state {
+		delete(state, k)
+	}
+	for k := range keys {
+		v := lc.lookup(branches[0], k)
+		for _, b := range branches[1:] {
+			if lc.lookup(b, k) != v {
+				v = lockUnknown
+				break
+			}
+		}
+		state[k] = v
+	}
+}
+
+// exec interprets stmt, mutating state in place. It reports true when control
+// cannot flow past the statement (return, or a branch out of the block).
+func (lc *lockChecker) exec(state map[string]lockState, stmt ast.Stmt) bool {
+	switch s := stmt.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			if lc.exec(state, st) {
+				return true
+			}
+		}
+	case *ast.ExprStmt:
+		lc.scan(state, s.X)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lc.scan(state, e)
+		}
+		for _, e := range s.Lhs {
+			lc.scan(state, e)
+		}
+	case *ast.IncDecStmt:
+		lc.scan(state, s.X)
+	case *ast.SendStmt:
+		lc.scan(state, s.Chan)
+		lc.scan(state, s.Value)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						lc.scan(state, e)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lc.scan(state, e)
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the straight-line flow; treating them as
+		// terminal keeps their state out of the fallthrough merge.
+		return true
+	case *ast.LabeledStmt:
+		return lc.exec(state, s.Stmt)
+	case *ast.IfStmt:
+		lc.exec(state, s.Init)
+		lc.scan(state, s.Cond)
+		thenSt := copyState(state)
+		thenTerm := lc.exec(thenSt, s.Body)
+		elseSt := copyState(state)
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = lc.exec(elseSt, s.Else)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return true
+		case thenTerm:
+			lc.setMerged(state, []map[string]lockState{elseSt})
+		case elseTerm:
+			lc.setMerged(state, []map[string]lockState{thenSt})
+		default:
+			lc.setMerged(state, []map[string]lockState{thenSt, elseSt})
+		}
+	case *ast.ForStmt:
+		lc.exec(state, s.Init)
+		lc.scan(state, s.Cond)
+		body := copyState(state)
+		if !lc.exec(body, s.Body) {
+			lc.exec(body, s.Post)
+		}
+		// After the loop, merge the zero-iteration path with the body exit.
+		lc.setMerged(state, []map[string]lockState{copyState(state), body})
+	case *ast.RangeStmt:
+		lc.scan(state, s.X)
+		body := copyState(state)
+		lc.exec(body, s.Body)
+		lc.setMerged(state, []map[string]lockState{copyState(state), body})
+	case *ast.SwitchStmt:
+		lc.exec(state, s.Init)
+		lc.scan(state, s.Tag)
+		return lc.execClauses(state, s.Body)
+	case *ast.TypeSwitchStmt:
+		lc.exec(state, s.Init)
+		lc.exec(state, s.Assign)
+		return lc.execClauses(state, s.Body)
+	case *ast.SelectStmt:
+		return lc.execClauses(state, s.Body)
+	case *ast.DeferStmt:
+		// Deferred effects land at function return: a deferred Unlock keeps
+		// the mutex held for the rest of the body, so only the arguments and
+		// any deferred literal are examined, not the call's lock effect.
+		for _, a := range s.Call.Args {
+			lc.scan(state, a)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			lc.lits = append(lc.lits, lit)
+		}
+	case *ast.GoStmt:
+		lc.scan(state, s.Call)
+	}
+	return false
+}
+
+// execClauses interprets the case/comm clauses of a switch or select body,
+// merging the exits of every clause that falls through. Without a default
+// clause the entry state is merged in too (no case may match).
+func (lc *lockChecker) execClauses(state map[string]lockState, body *ast.BlockStmt) bool {
+	var exits []map[string]lockState
+	hasDefault := false
+	for _, c := range body.List {
+		cs := copyState(state)
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			for _, e := range cc.List {
+				lc.scan(state, e)
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			} else {
+				lc.exec(cs, cc.Comm)
+			}
+			stmts = cc.Body
+		}
+		term := false
+		for _, st := range stmts {
+			if lc.exec(cs, st) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			exits = append(exits, cs)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, copyState(state))
+	}
+	if len(exits) == 0 {
+		return true
+	}
+	lc.setMerged(state, exits)
+	return false
+}
+
+// scan walks an expression for calls, applying lock effects and checking
+// *Locked call sites. Nested function literals are queued for separate
+// interpretation rather than inheriting this frame's state.
+func (lc *lockChecker) scan(state map[string]lockState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			lc.lits = append(lc.lits, n)
+			return false
+		case *ast.CallExpr:
+			lc.call(state, n)
+		}
+		return true
+	})
+}
+
+func (lc *lockChecker) call(state map[string]lockState, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		tv := lc.pass.Info.Types[sel.X]
+		if tv.Type == nil || !isMutex(tv.Type) {
+			return
+		}
+		path := exprPath(sel.X)
+		if path == "" {
+			return
+		}
+		if !lc.inLit {
+			for _, own := range lc.ownPaths {
+				if path == own {
+					lc.pass.Reportf(call.Pos(),
+						"%s is held on entry by the *Locked contract; this function must not %s it",
+						path, name)
+				}
+			}
+		}
+		switch name {
+		case "Lock", "RLock":
+			state[path] = lockHeld
+		case "Unlock", "RUnlock":
+			state[path] = lockUnheld
+		default:
+			// TryLock may or may not acquire; the result is branch-dependent.
+			state[path] = lockUnknown
+		}
+	default:
+		if !strings.HasSuffix(name, "Locked") {
+			return
+		}
+		fn, ok := lc.pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return
+		}
+		fields := mutexFields(sig.Recv().Type())
+		base := exprPath(sel.X)
+		if base == "" || len(fields) == 0 {
+			return
+		}
+		// In a function literal's frame, unknown means "no information about
+		// the spawning context" and stays silent; in a declared function's
+		// frame every path is visible, so unknown can only come from branch
+		// divergence or TryLock — a conditionally-held mutex is a bug.
+		held, benign := false, false
+		for _, m := range fields {
+			switch lc.lookup(state, base+"."+m) {
+			case lockHeld:
+				held = true
+			case lockUnknown:
+				if lc.inLit {
+					benign = true
+				}
+			}
+		}
+		if !held && !benign {
+			lc.pass.Reportf(call.Pos(),
+				"call to %s.%s requires %s.%s to be held: lock it first or rename the caller *Locked",
+				base, name, base, fields[0])
+		}
+	}
+}

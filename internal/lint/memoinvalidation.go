@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MemoInvalidation proves that the prediction memo can never serve stale
+// entries: in any package that maintains one (declares a method named
+// invalidatePredictionMemoLocked), every function that mutates live-ledger
+// claim state — Reserve/Release/EvictHost on a *resource.Ledger, or Reserve
+// through a matcher field wired to the live ledger — must reach an
+// invalidatePredictionMemoLocked call, directly or through a same-package
+// callee. Mutations of snapshots and forks carry no memo obligation and are
+// ignored, as are matchers rebound to a fork with WithView (those are bound
+// to locals, not fields).
+var MemoInvalidation = &Analyzer{
+	Name: "memoinvalidation",
+	Doc:  "live-ledger claim mutations must be paired with invalidatePredictionMemoLocked",
+	Run:  runMemoInvalidation,
+}
+
+const invalidateName = "invalidatePredictionMemoLocked"
+
+func runMemoInvalidation(pass *Pass) error {
+	// The check only applies to packages that own a prediction memo.
+	declares := false
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == invalidateName {
+				declares = true
+			}
+		}
+	}
+	if !declares {
+		return nil
+	}
+
+	type mutation struct {
+		pos  ast.Node
+		desc string
+	}
+	type funcFacts struct {
+		decl        *ast.FuncDecl
+		mutations   []mutation
+		callees     []*types.Func
+		invalidates bool
+	}
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &funcFacts{decl: fd}
+			facts[obj] = ff
+			order = append(order, obj)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass.Info, call); callee != nil {
+					if callee.Name() == invalidateName {
+						ff.invalidates = true
+					}
+					if callee.Pkg() == pass.Pkg {
+						ff.callees = append(ff.callees, callee)
+					}
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				name := sel.Sel.Name
+				switch name {
+				case "Reserve", "Release", "EvictHost":
+				default:
+					return true
+				}
+				if tv := pass.Info.Types[sel.X]; tv.Type != nil && isPkgType(tv.Type, "internal/resource", "Ledger") {
+					ff.mutations = append(ff.mutations, mutation{call, exprOrLedger(sel.X) + "." + name})
+				} else if inner, ok := sel.X.(*ast.SelectorExpr); ok && name == "Reserve" && inner.Sel.Name == "matcher" {
+					// A matcher held in a struct field reserves against the
+					// live ledger; only WithView-rebound locals target forks.
+					ff.mutations = append(ff.mutations, mutation{call, exprOrLedger(sel.X) + "." + name})
+				}
+				return true
+			})
+		}
+	}
+
+	// Propagate invalidation through the static same-package call graph.
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			ff := facts[obj]
+			if ff.invalidates {
+				continue
+			}
+			for _, callee := range ff.callees {
+				if cf, ok := facts[callee]; ok && cf.invalidates {
+					ff.invalidates = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		ff := facts[obj]
+		if ff.invalidates {
+			continue
+		}
+		for _, m := range ff.mutations {
+			pass.Reportf(m.pos.Pos(),
+				"%s mutates live-ledger claims but %s never reaches %s; stale memo entries would survive the write",
+				m.desc, ff.decl.Name.Name, invalidateName)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ProtoExhaustive proves that dispatch over a wire-message enum cannot drop
+// a registered message on the floor. For every switch whose tag is a defined
+// string type with at least two package-level constants (the shape of
+// protocol.MsgType), the cases must either cover every registered constant
+// or the switch must carry a non-empty default clause — the protocol handler
+// convention being an explicit default that replies with a WireError rather
+// than silently ignoring the message.
+var ProtoExhaustive = &Analyzer{
+	Name: "protoexhaustive",
+	Doc:  "switches over wire-message enums cover every registered value or carry a non-empty default",
+	Run:  runProtoExhaustive,
+}
+
+func runProtoExhaustive(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if ok && sw.Tag != nil {
+				checkEnumSwitch(pass, sw)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkEnumSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tv := pass.Info.Types[sw.Tag]
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsString == 0 {
+		return
+	}
+	registered := enumConstants(named)
+	if len(registered) < 2 {
+		return
+	}
+
+	covered := map[string]bool{}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			if len(cc.Body) == 0 {
+				pass.Reportf(cc.Pos(),
+					"default clause is empty: unregistered %s values must be answered (reply a WireError), not dropped",
+					typeLabel(named))
+				return
+			}
+			// A non-empty default handles everything the cases miss.
+			return
+		}
+		for _, e := range cc.List {
+			etv := pass.Info.Types[e]
+			if etv.Value == nil || etv.Value.Kind() != constant.String {
+				// Non-constant case expression: coverage is undecidable.
+				return
+			}
+			covered[constant.StringVal(etv.Value)] = true
+		}
+	}
+
+	var missing []string
+	for name, val := range registered {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over %s covers %d of %d registered values; missing %s: add cases or a default that replies a WireError",
+		typeLabel(named), len(covered), len(registered), strings.Join(missing, ", "))
+}
+
+// enumConstants maps the names of named's package-level constants to their
+// string values.
+func enumConstants(named *types.Named) map[string]string {
+	out := map[string]string{}
+	scope := named.Obj().Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if c.Val().Kind() == constant.String {
+			out[name] = constant.StringVal(c.Val())
+		}
+	}
+	return out
+}
+
+func typeLabel(named *types.Named) string {
+	return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+}

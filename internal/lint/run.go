@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"sort"
+)
+
+// Report is the outcome of running the suite over a set of packages.
+type Report struct {
+	// Diags holds every diagnostic, suppressed ones included, ordered by
+	// file position.
+	Diags []Diagnostic `json:"diagnostics"`
+}
+
+// Unsuppressed returns the findings not covered by an allow directive.
+func (r *Report) Unsuppressed() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Run executes every analyzer over every package and applies suppression
+// directives. Analyzer errors (not findings) abort the run.
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Report, error) {
+	rep := &Report{}
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+			diags = append(diags, pass.diags...)
+		}
+		diags = applySuppressions(pkg.Fset, pkg.Files, pkg.Types.Path(), diags)
+		rep.Diags = append(rep.Diags, diags...)
+	}
+	sort.SliceStable(rep.Diags, func(i, j int) bool {
+		a, b := rep.Diags[i].Position, rep.Diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return rep, nil
+}
+
+// JSON renders the report for machine consumption.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// SARIF renders the report as a SARIF 2.1.0 log (one run, one rule per
+// registered analyzer), matching the shape scripts/mergesarif merges into
+// the CI lint artifact. Suppressed findings are carried with a suppression
+// record so code-scanning UIs show them as reviewed, not open.
+func (r *Report) SARIF() ([]byte, error) {
+	analyzers := Analyzers()
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	ruleIndex := make(map[string]int, len(analyzers)+1)
+	addRule := func(id, doc string) {
+		ruleIndex[id] = len(rules)
+		rules = append(rules, sarifRule{
+			ID:               id,
+			ShortDescription: sarifText{doc},
+			DefaultConfig:    sarifConfig{Level: "error"},
+		})
+	}
+	for _, a := range analyzers {
+		addRule(a.Name, a.Doc)
+	}
+	addRule("suppression", "allow directives must name a check, carry a reason, and match a diagnostic")
+
+	results := make([]sarifResult, 0, len(r.Diags))
+	for _, d := range r.Diags {
+		res := sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifText{d.Message},
+		}
+		if idx, ok := ruleIndex[d.Check]; ok {
+			i := idx
+			res.RuleIndex = &i
+		}
+		if d.Suppressed {
+			res.Suppressions = []sarifSuppression{{
+				Kind:          "inSource",
+				Justification: d.SuppressReason,
+			}}
+		}
+		loc := sarifLocation{}
+		loc.Physical.Artifact.URI = d.Position.Filename
+		loc.Physical.Region.StartLine = d.Position.Line
+		loc.Physical.Region.StartColumn = d.Position.Column
+		res.Locations = []sarifLocation{loc}
+		results = append(results, res)
+	}
+	log := sarifLog{
+		Version: "2.1.0",
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "harmonylint",
+				InformationURI: "https://github.com/harmony/harmony/blob/main/docs/ANALYZERS.md",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(log); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// The SARIF envelope mirrors internal/vet's writer; duplicated here rather
+// than exported from vet because the two tools version independently.
+
+type sarifLog struct {
+	Version string     `json:"version"`
+	Schema  string     `json:"$schema"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string      `json:"id"`
+	ShortDescription sarifText   `json:"shortDescription"`
+	DefaultConfig    sarifConfig `json:"defaultConfiguration"`
+}
+
+type sarifConfig struct {
+	Level string `json:"level"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID       string             `json:"ruleId"`
+	RuleIndex    *int               `json:"ruleIndex,omitempty"`
+	Level        string             `json:"level"`
+	Message      sarifText          `json:"message"`
+	Locations    []sarifLocation    `json:"locations,omitempty"`
+	Suppressions []sarifSuppression `json:"suppressions,omitempty"`
+}
+
+type sarifSuppression struct {
+	Kind          string `json:"kind"`
+	Justification string `json:"justification,omitempty"`
+}
+
+type sarifLocation struct {
+	Physical struct {
+		Artifact struct {
+			URI string `json:"uri"`
+		} `json:"artifactLocation"`
+		Region struct {
+			StartLine   int `json:"startLine"`
+			StartColumn int `json:"startColumn,omitempty"`
+		} `json:"region"`
+	} `json:"physicalLocation"`
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive comment.
+const allowPrefix = "//harmonylint:allow"
+
+// directive is one parsed //harmonylint:allow comment.
+type directive struct {
+	check  string
+	reason string
+	pos    token.Position
+	used   bool
+}
+
+// collectDirectives parses every allow directive in the files, keyed by
+// (filename, line). A directive suppresses matching diagnostics on its own
+// line or the line directly below it, so both trailing comments and
+// whole-line comments above the flagged statement work.
+func collectDirectives(fset *token.FileSet, files []*ast.File) map[string][]*directive {
+	out := make(map[string][]*directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				fields := strings.Fields(rest)
+				d := &directive{pos: fset.Position(c.Pos())}
+				if len(fields) > 0 {
+					d.check = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				key := directiveKey(d.pos.Filename, d.pos.Line)
+				out[key] = append(out[key], d)
+			}
+		}
+	}
+	return out
+}
+
+func directiveKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// applySuppressions marks diagnostics matched by an allow directive and
+// appends "suppression" diagnostics for malformed or unused directives:
+// a directive without a reason never suppresses anything, and a directive
+// that matches no finding is reported so stale allowances get cleaned up.
+func applySuppressions(fset *token.FileSet, files []*ast.File, pkgPath string, diags []Diagnostic) []Diagnostic {
+	dirs := collectDirectives(fset, files)
+	if len(dirs) == 0 {
+		return diags
+	}
+	for i := range diags {
+		d := &diags[i]
+		for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+			for _, dir := range dirs[directiveKey(d.Position.Filename, line)] {
+				if dir.check != d.Check && dir.check != "all" {
+					continue
+				}
+				dir.used = true
+				if dir.reason == "" {
+					continue // reasonless directives suppress nothing
+				}
+				d.Suppressed = true
+				d.SuppressReason = dir.reason
+			}
+		}
+	}
+	for _, byLine := range dirs {
+		for _, dir := range byLine {
+			switch {
+			case dir.check == "":
+				diags = append(diags, Diagnostic{
+					Check:    "suppression",
+					Package:  pkgPath,
+					Position: dir.pos,
+					Message:  "allow directive names no check: want //harmonylint:allow <check> <reason>",
+				})
+			case dir.reason == "":
+				diags = append(diags, Diagnostic{
+					Check:    "suppression",
+					Package:  pkgPath,
+					Position: dir.pos,
+					Message:  "allow directive for " + dir.check + " carries no reason; suppressions must be justified",
+				})
+			case !dir.used:
+				diags = append(diags, Diagnostic{
+					Check:    "suppression",
+					Package:  pkgPath,
+					Position: dir.pos,
+					Message:  "allow directive for " + dir.check + " matches no diagnostic; delete it",
+				})
+			}
+		}
+	}
+	return diags
+}

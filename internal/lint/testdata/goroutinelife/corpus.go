@@ -1,0 +1,78 @@
+// Package corpus exercises the goroutinelife analyzer: every spawned
+// goroutine needs a shutdown path.
+package corpus
+
+import (
+	"context"
+	"sync"
+)
+
+type srv struct {
+	stop chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+}
+
+// startSweeper spawns a named method whose body selects on the stop channel,
+// the lease-sweeper shape.
+func (s *srv) startSweeper() {
+	go s.sweep()
+}
+
+func (s *srv) sweep() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case w := <-s.work:
+			_ = w
+		}
+	}
+}
+
+// startWorkers registers every spawn with the WaitGroup, the worker-pool
+// shape.
+func (s *srv) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			<-s.work
+		}()
+	}
+}
+
+// startWatcher ties the goroutine to a context, the readLoop shape.
+func (s *srv) startWatcher(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// drain consumes a lifecycle channel by ranging over it.
+func (s *srv) drain() {
+	go func() {
+		for range s.stop {
+		}
+	}()
+}
+
+// leak spawns a loop nothing can stop.
+func (s *srv) leak() {
+	go func() { // want "goroutine has no shutdown path"
+		for w := range s.work {
+			_ = w
+		}
+	}()
+}
+
+// leakNamed spawns a named function that never listens for shutdown.
+func (s *srv) leakNamed() {
+	go s.spin() // want "goroutine has no shutdown path"
+}
+
+func (s *srv) spin() {
+	for {
+		_ = <-s.work
+	}
+}

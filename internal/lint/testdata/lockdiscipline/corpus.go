@@ -1,0 +1,94 @@
+// Package corpus exercises the lockdiscipline analyzer. The want comments
+// mark expected findings; everything else must stay clean.
+package corpus
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+type ctrl struct {
+	mu    sync.Mutex
+	state int
+}
+
+// adoptLocked runs under c.mu by contract.
+func (c *ctrl) adoptLocked() { c.state++ }
+
+// chainLocked may call sibling *Locked methods: the held contract carries.
+func (c *ctrl) chainLocked() { c.adoptLocked() }
+
+// relockLocked re-locks the mutex its own contract says is already held.
+func (c *ctrl) relockLocked() {
+	c.mu.Lock() // want "is held on entry"
+	c.state++
+	c.mu.Unlock() // want "is held on entry"
+}
+
+// Good locks before calling into the *Locked layer, with an early-unlock
+// error path the flow-sensitive interpreter must track across the branch.
+func (c *ctrl) Good(fail bool) error {
+	c.mu.Lock()
+	if fail {
+		c.mu.Unlock()
+		return errFail
+	}
+	c.adoptLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// GoodDefer holds the mutex for the whole body: a deferred Unlock does not
+// release it mid-function.
+func (c *ctrl) GoodDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.adoptLocked()
+}
+
+// GoodLoop keeps the lock across iteration.
+func (c *ctrl) GoodLoop(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := 0; i < n; i++ {
+		c.adoptLocked()
+	}
+}
+
+// Bad never takes the lock at all.
+func (c *ctrl) Bad() {
+	c.adoptLocked() // want "requires c.mu to be held"
+}
+
+// BadAfterUnlock calls back into the *Locked layer after releasing.
+func (c *ctrl) BadAfterUnlock() {
+	c.mu.Lock()
+	c.state++
+	c.mu.Unlock()
+	c.adoptLocked() // want "requires c.mu to be held"
+}
+
+// BadBranch unlocks on one path and falls through to a *Locked call, so the
+// mutex is only conditionally held at the call site.
+func (c *ctrl) BadBranch(flake bool) {
+	c.mu.Lock()
+	if flake {
+		c.mu.Unlock()
+	} else {
+		c.state++
+	}
+	c.adoptLocked() // want "requires c.mu to be held"
+	c.mu.Unlock()
+}
+
+// spawn runs a literal on a fresh frame: the goroutine takes the lock for
+// itself, which the interpreter must not confuse with the spawner's state.
+func (c *ctrl) spawn() {
+	go func() {
+		c.mu.Lock()
+		c.adoptLocked()
+		c.mu.Unlock()
+	}()
+}

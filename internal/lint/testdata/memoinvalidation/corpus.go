@@ -1,0 +1,69 @@
+// Package corpus exercises the memoinvalidation analyzer: every live-ledger
+// claim mutation must reach invalidatePredictionMemoLocked.
+package corpus
+
+import "harmony/internal/resource"
+
+type matcher struct {
+	view resource.View
+}
+
+func (m *matcher) Reserve(owner string) (*resource.Claim, error) {
+	return m.view.Reserve(owner, nil, nil)
+}
+
+func (m *matcher) WithView(resource.View) *matcher { return m }
+
+type ctrl struct {
+	ledger  *resource.Ledger
+	matcher *matcher
+	memo    map[string]float64
+}
+
+func (c *ctrl) invalidatePredictionMemoLocked() { clear(c.memo) }
+
+func (c *ctrl) cleanupLocked() { c.invalidatePredictionMemoLocked() }
+
+// releaseGood pairs the claim write with direct invalidation.
+func (c *ctrl) releaseGood(id uint64) {
+	_ = c.ledger.Release(id)
+	c.invalidatePredictionMemoLocked()
+}
+
+// evictViaHelper reaches the invalidation transitively, the MarkNodeDown →
+// dropEvictedClaimsLocked shape.
+func (c *ctrl) evictViaHelper(host string) {
+	_ = c.ledger.EvictHost(host)
+	c.cleanupLocked()
+}
+
+// reserveGood goes through the field-held matcher (which writes the live
+// ledger) and invalidates.
+func (c *ctrl) reserveGood(owner string) {
+	_, _ = c.matcher.Reserve(owner)
+	c.invalidatePredictionMemoLocked()
+}
+
+// releaseBad leaves stale memo entries behind the write.
+func (c *ctrl) releaseBad(id uint64) {
+	_ = c.ledger.Release(id) // want "never reaches invalidatePredictionMemoLocked"
+}
+
+// reserveBadMatcher writes through the field-held matcher without
+// invalidating.
+func (c *ctrl) reserveBadMatcher(owner string) {
+	_, _ = c.matcher.Reserve(owner) // want "never reaches invalidatePredictionMemoLocked"
+}
+
+// forkWork rebinds the matcher to a snapshot fork: writes land in the fork,
+// so no memo obligation attaches.
+func (c *ctrl) forkWork(v resource.View, owner string) {
+	matcher := c.matcher.WithView(v)
+	_, _ = matcher.Reserve(owner)
+}
+
+// snapshotWork mutates a snapshot, not the live ledger.
+func snapshotWork(s *resource.Snapshot, owner string) {
+	fork := s.Fork()
+	_, _ = fork.Reserve(owner, nil, nil)
+}

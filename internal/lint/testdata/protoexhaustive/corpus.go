@@ -1,0 +1,66 @@
+// Package corpus exercises the protoexhaustive analyzer on a local string
+// enum and on the real wire-message enum.
+package corpus
+
+type kind string
+
+const (
+	kindAlpha kind = "alpha"
+	kindBeta  kind = "beta"
+	kindGamma kind = "gamma"
+)
+
+// handleAll covers every registered value explicitly.
+func handleAll(k kind) int {
+	switch k {
+	case kindAlpha:
+		return 1
+	case kindBeta:
+		return 2
+	case kindGamma:
+		return 3
+	}
+	return 0
+}
+
+// handleDefault covers the remainder with a non-empty default.
+func handleDefault(k kind) int {
+	switch k {
+	case kindAlpha:
+		return 1
+	default:
+		return reject()
+	}
+}
+
+// handleMissing silently drops two registered values.
+func handleMissing(k kind) int {
+	switch k { // want "covers 1 of 3 registered values; missing kindBeta, kindGamma"
+	case kindAlpha:
+		return 1
+	}
+	return 0
+}
+
+// handleEmptyDefault acknowledges the remainder exists and ignores it.
+func handleEmptyDefault(k kind) int {
+	switch k {
+	case kindAlpha:
+		return 1
+	default: // want "default clause is empty"
+	}
+	return 0
+}
+
+// handleGrouped covers values in grouped cases.
+func handleGrouped(k kind) int {
+	switch k {
+	case kindAlpha, kindBeta:
+		return 1
+	case kindGamma:
+		return 2
+	}
+	return 0
+}
+
+func reject() int { return -1 }

@@ -1,0 +1,62 @@
+// The seeded regression: dispatchSeeded reproduces the server's handle
+// switch exactly as it stood before the sweep fix — the ten client-to-server
+// message types each get a case, and unknown types fall to a trailing return
+// instead of an explicit default. Reverting the server fix re-creates this
+// shape, and the analyzer must stay red on it.
+package corpus
+
+import "harmony/internal/protocol"
+
+func ack() *protocol.Message {
+	return &protocol.Message{Type: protocol.TypeAck}
+}
+
+func wireError(format string) *protocol.Message {
+	return &protocol.Message{Type: protocol.TypeError, Error: format}
+}
+
+func dispatchSeeded(m *protocol.Message) *protocol.Message {
+	switch m.Type { // want "covers 10 of 14 registered values; missing TypeAck, TypeError, TypeStatusReply, TypeUpdate"
+	case protocol.TypeStartup:
+		return ack()
+	case protocol.TypeHeartbeat:
+		return ack()
+	case protocol.TypeResume:
+		return ack()
+	case protocol.TypeNodeState:
+		return ack()
+	case protocol.TypeBundleSetup:
+		return ack()
+	case protocol.TypeAddVariable:
+		return ack()
+	case protocol.TypeReport:
+		return ack()
+	case protocol.TypeEnd:
+		return ack()
+	case protocol.TypeStatus:
+		return ack()
+	case protocol.TypeReevaluate:
+		return ack()
+	}
+	return wireError("unknown message type")
+}
+
+// dispatchFixed is the post-sweep shape: the explicit default replies a wire
+// error, so new message types can never be silently dropped.
+func dispatchFixed(m *protocol.Message) *protocol.Message {
+	switch m.Type {
+	case protocol.TypeStartup,
+		protocol.TypeHeartbeat,
+		protocol.TypeResume,
+		protocol.TypeNodeState,
+		protocol.TypeBundleSetup,
+		protocol.TypeAddVariable,
+		protocol.TypeReport,
+		protocol.TypeEnd,
+		protocol.TypeStatus,
+		protocol.TypeReevaluate:
+		return ack()
+	default:
+		return wireError("unknown message type")
+	}
+}

@@ -1,0 +1,37 @@
+// Package corpus exercises the //harmonylint:allow directive machinery; the
+// assertions live in TestSuppressionDirectives rather than want comments.
+package corpus
+
+type worker struct {
+	work chan int
+}
+
+// flush is a justified allowance: the finding is produced but suppressed.
+func (w *worker) flush() {
+	//harmonylint:allow goroutinelife drains a closed channel at exit, bounded by the sender
+	go func() {
+		for range w.work {
+		}
+	}()
+}
+
+// reasonless carries a directive with no justification: it suppresses
+// nothing and is itself flagged.
+func (w *worker) reasonless() {
+	//harmonylint:allow goroutinelife
+	go func() {
+		for range w.work {
+		}
+	}()
+}
+
+// stale allows a check that reports nothing here, so the directive itself
+// is flagged as unused.
+func (w *worker) stale() {
+	//harmonylint:allow protoexhaustive left over from an old refactor
+	done := make(chan struct{})
+	go func() {
+		<-done
+	}()
+	close(done)
+}

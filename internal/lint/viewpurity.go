@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ViewPurity proves that evaluation code handed a resource.View snapshot
+// stays inside the snapshot: it must not call mutating methods on the live
+// *resource.Ledger, and it must not type-assert a value back to
+// *resource.Ledger to escape the interface. Reads and View-interface calls
+// (including Reserve/Release on the view itself, which copy-on-write into
+// the fork) are allowed.
+var ViewPurity = &Analyzer{
+	Name: "viewpurity",
+	Doc:  "functions taking a resource.View must not mutate the live ledger or assert back to *resource.Ledger",
+	Run:  runViewPurity,
+}
+
+// ledgerMutators are the *resource.Ledger methods that write topology or
+// claim state.
+var ledgerMutators = map[string]bool{
+	"AddNode":       true,
+	"AddLink":       true,
+	"SetNodeHealth": true,
+	"EvictHost":     true,
+	"Reserve":       true,
+	"Release":       true,
+}
+
+func runViewPurity(pass *Pass) error {
+	// Spans of already-checked view-function bodies, so a literal nested
+	// inside one is not reported twice.
+	type span struct{ lo, hi token.Pos }
+	var checked []span
+	within := func(pos token.Pos) bool {
+		for _, s := range checked {
+			if s.lo <= pos && pos <= s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	check := func(ft *ast.FuncType, body *ast.BlockStmt, what string) {
+		if body == nil || !hasViewParam(pass, ft) || within(body.Pos()) {
+			return
+		}
+		checked = append(checked, span{body.Pos(), body.End()})
+		checkViewBody(pass, body, what)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				check(fd.Type, fd.Body, fd.Name.Name)
+			}
+		}
+		// Literals with their own View parameter, outside any view function.
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				check(lit.Type, lit.Body, "function literal")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func hasViewParam(pass *Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv := pass.Info.Types[field.Type]; tv.Type != nil && isPkgType(tv.Type, "internal/resource", "View") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkViewBody(pass *Pass, body *ast.BlockStmt, what string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeAssertExpr:
+			// n.Type is nil inside a type switch guard; its case types are
+			// handled below.
+			if n.Type != nil && isLedgerType(pass, n.Type) {
+				pass.Reportf(n.Pos(),
+					"%s takes a resource.View but type-asserts to *resource.Ledger, escaping the snapshot", what)
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range n.Body.List {
+				cc, ok := c.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, te := range cc.List {
+					if isLedgerType(pass, te) {
+						pass.Reportf(te.Pos(),
+							"%s takes a resource.View but type-switches on *resource.Ledger, escaping the snapshot", what)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !ledgerMutators[sel.Sel.Name] {
+				return true
+			}
+			if tv := pass.Info.Types[sel.X]; tv.Type != nil && isPkgType(tv.Type, "internal/resource", "Ledger") {
+				pass.Reportf(n.Pos(),
+					"%s takes a resource.View but calls %s.%s on the live ledger; mutate through the view's fork instead",
+					what, exprOrLedger(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+func isLedgerType(pass *Pass, te ast.Expr) bool {
+	tv := pass.Info.Types[te]
+	return tv.Type != nil && isPkgType(tv.Type, "internal/resource", "Ledger")
+}
+
+func exprOrLedger(e ast.Expr) string {
+	if p := exprPath(e); p != "" {
+		return p
+	}
+	return "ledger"
+}

@@ -550,8 +550,13 @@ func (c *conn) handle(msg *protocol.Message) *protocol.Message {
 	case protocol.TypeReevaluate:
 		c.srv.cfg.Controller.Reevaluate()
 		return &protocol.Message{Type: protocol.TypeAck}
+
+	default:
+		// Server-originated types (ack, error, status_reply, update) are not
+		// valid requests; answering them (and anything unregistered) with a
+		// wire error keeps the dispatch exhaustive as the protocol grows.
+		return errReply("unknown message type %q", msg.Type)
 	}
-	return errReply("unknown message type %q", msg.Type)
 }
 
 // handleResume re-binds a parked (or still-nominally-live) session to this

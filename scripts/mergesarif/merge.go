@@ -16,7 +16,10 @@ type sarifLog struct {
 
 // merge concatenates the runs of the given logs. The first log's schema
 // wins; every input must be version 2.1.0 (or unversioned, tolerated for
-// tools that omit the field).
+// tools that omit the field). Each run is normalized on the way through:
+// duplicate rules entries are dropped and a null or absent results array
+// becomes an empty one, since both shapes appear in real tool output and
+// break strict SARIF consumers.
 func merge(logs []sarifLog) (sarifLog, error) {
 	out := sarifLog{Version: "2.1.0", Runs: []json.RawMessage{}}
 	for i, l := range logs {
@@ -26,9 +29,89 @@ func merge(logs []sarifLog) (sarifLog, error) {
 		if out.Schema == "" {
 			out.Schema = l.Schema
 		}
-		out.Runs = append(out.Runs, l.Runs...)
+		for j, run := range l.Runs {
+			normalized, err := normalizeRun(run)
+			if err != nil {
+				return out, fmt.Errorf("input %d run %d: %w", i, j, err)
+			}
+			out.Runs = append(out.Runs, normalized)
+		}
 	}
 	return out, nil
+}
+
+// normalizeRun rewrites one run: tool.driver.rules loses byte-identical
+// duplicate entries (tools emitting one rule per finding repeat them), and
+// results is forced to an array (govulncheck emits null on a clean run, and
+// some tools omit the field entirely). Unknown fields ride through
+// untouched.
+func normalizeRun(raw json.RawMessage) (json.RawMessage, error) {
+	var run map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &run); err != nil {
+		return nil, err
+	}
+	if results, ok := run["results"]; !ok || string(results) == "null" {
+		run["results"] = json.RawMessage("[]")
+	}
+	if toolRaw, ok := run["tool"]; ok {
+		var tool map[string]json.RawMessage
+		if err := json.Unmarshal(toolRaw, &tool); err != nil {
+			return nil, fmt.Errorf("tool: %w", err)
+		}
+		if driverRaw, ok := tool["driver"]; ok {
+			var driver map[string]json.RawMessage
+			if err := json.Unmarshal(driverRaw, &driver); err != nil {
+				return nil, fmt.Errorf("tool.driver: %w", err)
+			}
+			if rulesRaw, ok := driver["rules"]; ok && string(rulesRaw) != "null" {
+				var rules []json.RawMessage
+				if err := json.Unmarshal(rulesRaw, &rules); err != nil {
+					return nil, fmt.Errorf("tool.driver.rules: %w", err)
+				}
+				deduped := rules[:0]
+				seen := make(map[string]bool, len(rules))
+				for _, r := range rules {
+					key, err := canonicalJSON(r)
+					if err != nil {
+						return nil, fmt.Errorf("tool.driver.rules: %w", err)
+					}
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					deduped = append(deduped, r)
+				}
+				b, err := json.Marshal(deduped)
+				if err != nil {
+					return nil, err
+				}
+				driver["rules"] = b
+				if b, err = json.Marshal(driver); err != nil {
+					return nil, err
+				}
+				tool["driver"] = b
+				if b, err = json.Marshal(tool); err != nil {
+					return nil, err
+				}
+				run["tool"] = b
+			}
+		}
+	}
+	return json.Marshal(run)
+}
+
+// canonicalJSON re-encodes a value with sorted object keys so semantically
+// identical rules entries compare equal regardless of key order.
+func canonicalJSON(raw json.RawMessage) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", err
+	}
+	b, err := json.Marshal(v) // map keys marshal in sorted order
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
 }
 
 func mergeFiles(paths []string) ([]byte, error) {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -27,6 +29,119 @@ func TestMergeConcatenatesRuns(t *testing.T) {
 	}
 	if len(out.Runs) != 3 {
 		t.Fatalf("runs = %d, want 3", len(out.Runs))
+	}
+}
+
+// TestMergeNormalizesRuns covers the two malformed-but-real shapes merge
+// must absorb: duplicated rules entries and null/absent results arrays.
+func TestMergeNormalizesRuns(t *testing.T) {
+	type wantRun struct {
+		ruleIDs    []string
+		numResults int
+	}
+	cases := []struct {
+		name   string
+		inputs []string
+		want   []wantRun
+	}{
+		{
+			name: "duplicate rules are deduped",
+			inputs: []string{
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"lint","rules":[
+					{"id":"r1","shortDescription":{"text":"one"}},
+					{"id":"r1","shortDescription":{"text":"one"}},
+					{"id":"r2","shortDescription":{"text":"two"}},
+					{"shortDescription":{"text":"one"},"id":"r1"}
+				]}},"results":[{"ruleId":"r1"},{"ruleId":"r1"}]}]}`,
+			},
+			want: []wantRun{{ruleIDs: []string{"r1", "r2"}, numResults: 2}},
+		},
+		{
+			name: "distinct rules sharing an id survive",
+			inputs: []string{
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"lint","rules":[
+					{"id":"r1","shortDescription":{"text":"old wording"}},
+					{"id":"r1","shortDescription":{"text":"new wording"}}
+				]}},"results":[]}]}`,
+			},
+			want: []wantRun{{ruleIDs: []string{"r1", "r1"}, numResults: 0}},
+		},
+		{
+			name: "null results becomes empty array",
+			inputs: []string{
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"govulncheck"}},"results":null}]}`,
+			},
+			want: []wantRun{{numResults: 0}},
+		},
+		{
+			name: "absent results becomes empty array",
+			inputs: []string{
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"staticcheck"}}}]}`,
+			},
+			want: []wantRun{{numResults: 0}},
+		},
+		{
+			name: "normalization applies per input run",
+			inputs: []string{
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"a","rules":[{"id":"x"},{"id":"x"}]}},"results":null}]}`,
+				`{"version":"2.1.0","runs":[{"tool":{"driver":{"name":"b"}}}]}`,
+			},
+			want: []wantRun{
+				{ruleIDs: []string{"x"}, numResults: 0},
+				{numResults: 0},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			var paths []string
+			for i, in := range tc.inputs {
+				p := filepath.Join(dir, fmt.Sprintf("in%d.sarif", i))
+				if err := os.WriteFile(p, []byte(in), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				paths = append(paths, p)
+			}
+			data, err := mergeFiles(paths)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out struct {
+				Runs []struct {
+					Tool struct {
+						Driver struct {
+							Rules []struct {
+								ID string `json:"id"`
+							} `json:"rules"`
+						} `json:"driver"`
+					} `json:"tool"`
+					Results []json.RawMessage `json:"results"`
+				} `json:"runs"`
+			}
+			if err := json.Unmarshal(data, &out); err != nil {
+				t.Fatal(err)
+			}
+			if len(out.Runs) != len(tc.want) {
+				t.Fatalf("runs = %d, want %d", len(out.Runs), len(tc.want))
+			}
+			for i, want := range tc.want {
+				run := out.Runs[i]
+				var gotIDs []string
+				for _, r := range run.Tool.Driver.Rules {
+					gotIDs = append(gotIDs, r.ID)
+				}
+				if !reflect.DeepEqual(gotIDs, want.ruleIDs) {
+					t.Errorf("run %d rules = %v, want %v", i, gotIDs, want.ruleIDs)
+				}
+				if run.Results == nil {
+					t.Errorf("run %d: results missing or null after normalization", i)
+				}
+				if len(run.Results) != want.numResults {
+					t.Errorf("run %d results = %d, want %d", i, len(run.Results), want.numResults)
+				}
+			}
+		})
 	}
 }
 
