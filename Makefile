@@ -13,7 +13,7 @@ check:
 	sh scripts/check.sh
 
 # Project invariant analyzers (lockdiscipline, viewpurity, memoinvalidation,
-# goroutinelife, protoexhaustive); see docs/ANALYZERS.md.
+# goroutinelife, protoexhaustive, replaydeterminism); see docs/ANALYZERS.md.
 lint:
 	$(GO) run ./cmd/harmonylint ./...
 
@@ -26,6 +26,8 @@ fuzz:
 bench:
 	sh scripts/bench.sh
 
-# Seeded chaos soak across the fixed 20-seed matrix (see docs/FAULTS.md).
+# Seeded chaos soak across the fixed 20-seed matrix: single-server churn
+# plus the replication soak (leader-kill + follower restart); see
+# docs/FAULTS.md and docs/REPLICATION.md.
 chaos:
 	sh scripts/chaos.sh

@@ -6,6 +6,7 @@
 //	harmonyctl [-addr host:9989] [-timeout 10s] status      # list applications + objective
 //	harmonyctl [-addr host:9989] [-timeout 10s] reevaluate  # force an optimizer pass
 //	harmonyctl [-addr host:9989] node down|drain|up <host>  # node lifecycle
+//	harmonyctl [-addr a,b,c] cluster status [-json]         # replication status
 //	harmonyctl vet [-json|-sarif] <file.rsl>...    # static-analyze specs (offline)
 //	harmonyctl lint [-json|-sarif] -cluster <cluster.rsl> <file.rsl>...
 //	harmonyctl analyze [-json] [-cluster <cluster.rsl>] <file.rsl>...
@@ -13,6 +14,11 @@
 // node marks a machine failed (down: evict and re-place its applications),
 // draining (migrate applications off but accept none back) or healthy
 // again (up: re-admit anything the failure degraded).
+//
+// cluster status dials every comma-separated -addr member individually and
+// prints each replica's role, term, commit/last log index, snapshot age and
+// last known leader; unreachable members are reported inline rather than
+// failing the whole command.
 //
 // vet analyzes each spec on its own; lint additionally judges the specs
 // jointly against the cluster's declared capacity (can this workload ever
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"harmony"
@@ -65,9 +72,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runLint(fs.Args()[1:], stdin, stdout)
 	case "analyze":
 		return runAnalyze(fs.Args()[1:], stdin, stdout)
+	case "cluster":
+		// cluster dials each member itself, one address at a time.
+		return runClusterStatus(*addr, *timeout, fs.Args()[1:], stdout)
 	case "status", "reevaluate", "node":
 	default:
-		return fmt.Errorf("unknown command %q (want status, reevaluate, node, vet, lint or analyze)", cmd)
+		return fmt.Errorf("unknown command %q (want status, reevaluate, node, cluster, vet, lint or analyze)", cmd)
 	}
 
 	client, err := harmony.DialWith(*addr, harmony.DialConfig{
@@ -120,6 +130,90 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return nil
 	}
 	panic("unreachable")
+}
+
+// clusterRow is one member's answer in a cluster status report.
+type clusterRow struct {
+	// Addr is the client address the member was asked on.
+	Addr string `json:"addr"`
+	// Error reports an unreachable or non-replicated member.
+	Error string `json:"error,omitempty"`
+	*harmony.ReplicaStatus
+}
+
+// runClusterStatus asks every comma-separated member for its replication
+// state. Unreachable members become error rows; the command only fails when
+// no member answered at all.
+func runClusterStatus(addrList string, timeout time.Duration, args []string, stdout io.Writer) error {
+	if len(args) == 0 || args[0] != "status" {
+		return errors.New("usage: harmonyctl [-addr a,b,c] cluster status [-json]")
+	}
+	fs := flag.NewFlagSet("harmonyctl cluster status", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit replica statuses as a JSON array")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	var rows []clusterRow
+	answered := 0
+	for _, a := range strings.Split(addrList, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		row := clusterRow{Addr: a}
+		st, err := askReplica(a, timeout)
+		if err != nil {
+			row.Error = err.Error()
+		} else {
+			row.ReplicaStatus = st
+			answered++
+		}
+		rows = append(rows, row)
+	}
+	if len(rows) == 0 {
+		return errors.New("cluster status: no addresses given")
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "%-22s %-12s %-10s %6s %8s %6s %10s %9s  %s\n",
+			"address", "id", "role", "term", "commit", "last", "snapshot", "snap-age", "leader")
+		for _, row := range rows {
+			if row.Error != "" {
+				fmt.Fprintf(stdout, "%-22s %s\n", row.Addr, row.Error)
+				continue
+			}
+			st := row.ReplicaStatus
+			age := "-"
+			if st.SnapshotAgeSeconds >= 0 {
+				age = fmt.Sprintf("%.1fs", st.SnapshotAgeSeconds)
+			}
+			leader := st.Leader
+			if leader == "" {
+				leader = "-"
+			}
+			fmt.Fprintf(stdout, "%-22s %-12s %-10s %6d %8d %6d %10d %9s  %s\n",
+				row.Addr, st.ID, st.Role, st.Term, st.CommitIndex, st.LastIndex, st.SnapshotIndex, age, leader)
+		}
+	}
+	if answered == 0 {
+		return fmt.Errorf("cluster status: no member of %q answered", addrList)
+	}
+	return nil
+}
+
+// askReplica asks one member for its replication status.
+func askReplica(addr string, timeout time.Duration) (*harmony.ReplicaStatus, error) {
+	client, err := harmony.DialWith(addr, harmony.DialConfig{Timeout: timeout, WriteDeadline: timeout})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	return client.ClusterStatus()
 }
 
 // readSpec loads one spec argument; "-" reads standard input (at most

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"harmony"
 )
@@ -307,5 +308,97 @@ func TestAnalyzeJSON(t *testing.T) {
 func TestAnalyzeNoFiles(t *testing.T) {
 	if err := run([]string{"analyze"}, nil, io.Discard); err == nil {
 		t.Fatal("analyze without files succeeded")
+	}
+}
+
+// startReplicatedServer brings up a single-member replicated controller and
+// returns its client address.
+func startReplicatedServer(t *testing.T) string {
+	t.Helper()
+	cl, err := harmony.NewSP2Cluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := harmony.NewClock()
+	ctrl, err := harmony.NewController(harmony.ControllerConfig{Cluster: cl, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := harmony.NewReplica("127.0.0.1:0", harmony.ReplicaConfig{Controller: ctrl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := harmony.ListenAndServe("127.0.0.1:0", harmony.ServerConfig{Controller: ctrl, Replica: rep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = srv.Close()
+		_ = rep.Close()
+		ctrl.Stop()
+		clock.Stop()
+	})
+	// A single member elects itself; wait so status reports a settled role.
+	deadline := time.Now().Add(5 * time.Second)
+	for !rep.IsLeader() {
+		if time.Now().After(deadline) {
+			t.Fatal("single replica never became leader")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return srv.Addr()
+}
+
+func TestClusterStatusText(t *testing.T) {
+	addr := startReplicatedServer(t)
+	dead := "127.0.0.1:1" // nothing listens here
+	var out strings.Builder
+	if err := run([]string{"-addr", addr + "," + dead, "cluster", "status"}, nil, &out); err != nil {
+		t.Fatalf("cluster status: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"leader", "address", "role", addr, dead} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output %q does not mention %q", got, want)
+		}
+	}
+}
+
+func TestClusterStatusJSON(t *testing.T) {
+	addr := startReplicatedServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "cluster", "status", "-json"}, nil, &out); err != nil {
+		t.Fatalf("cluster status -json: %v", err)
+	}
+	var rows []struct {
+		Addr  string `json:"addr"`
+		Role  string `json:"role"`
+		Term  uint64 `json:"term"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &rows); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(rows) != 1 || rows[0].Role != "leader" || rows[0].Addr != addr || rows[0].Term == 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+func TestClusterStatusErrors(t *testing.T) {
+	// Against a non-replicated server the member answers with a wire error:
+	// the row carries it, and with no member healthy the command fails.
+	plain := startServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", plain, "cluster", "status"}, nil, &out); err == nil {
+		t.Error("cluster status against a non-replicated server succeeded")
+	}
+	if !strings.Contains(out.String(), "not replicated") {
+		t.Errorf("output %q does not explain the member is not replicated", out.String())
+	}
+	if err := run([]string{"-addr", plain, "cluster"}, nil, io.Discard); err == nil {
+		t.Error("cluster without a verb accepted")
+	}
+	if err := run([]string{"-addr", " , ", "cluster", "status"}, nil, io.Discard); err == nil {
+		t.Error("empty address list accepted")
 	}
 }

@@ -9,6 +9,9 @@
 //	         [-objective mean] [-reeval 30s] [-exhaustive]
 //	         [-vet warn|reject|off]
 //	         [-lease-ttl 30s] [-lease-grace 1m]
+//	         [-peer-addr :9990] [-peers host2:9990,host3:9990]
+//	         [-advertise host1:9989] [-data-dir /var/lib/harmony]
+//	         [-snapshot-every 64] [-election-timeout 300ms]
 //
 // The resource file contains harmonyNode declarations, e.g.
 //
@@ -19,6 +22,15 @@
 // jointly with the bundles already admitted: a spec whose best-case
 // demand provably cannot fit next to the running workload is refused at
 // the front door instead of failing inside the controller.
+//
+// -peer-addr turns the daemon into one member of a replicated controller
+// cluster (see docs/REPLICATION.md): every ledger mutation is committed to a
+// majority of -peers before it is acknowledged, and clients given every
+// member in their address list survive this daemon's death. In replica mode
+// the elected leader drives the cluster's virtual clock through the log
+// (one replicated tick per second, which also re-harmonizes, subsuming
+// -reeval), and sensor polling is disabled — live metrics are leader-local
+// and never enter the log.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,12 +63,28 @@ func run(args []string) error {
 	vetFlag := fs.String("vet", "warn", "static-analyze incoming bundles: warn (log findings), reject (refuse error-severity specs, judged jointly with the admitted workload), off")
 	leaseTTL := fs.Duration("lease-ttl", 0, "drop connections silent for this long; clients renew with heartbeats (0 disables)")
 	leaseGrace := fs.Duration("lease-grace", 0, "keep a disconnected client's registration parked this long for session resume (0 unregisters immediately)")
+	peerAddr := fs.String("peer-addr", "", "replication listen address; enables replica mode")
+	peers := fs.String("peers", "", "comma-separated -peer-addr addresses of the other cluster members")
+	advertise := fs.String("advertise", "", "client address advertised for leader redirects (default: -addr)")
+	dataDir := fs.String("data-dir", "", "directory for the durable replicated log and snapshots")
+	snapshotEvery := fs.Int("snapshot-every", 0, "fold the log into a snapshot every n applied entries (0: default, negative: never)")
+	electionTimeout := fs.Duration("election-timeout", 0, "replication election timeout (0: default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	vetMode, err := harmony.ParseVetMode(*vetFlag)
 	if err != nil {
 		return err
+	}
+	if *peerAddr == "" {
+		for flagName, set := range map[string]bool{
+			"-peers": *peers != "", "-advertise": *advertise != "", "-data-dir": *dataDir != "",
+			"-snapshot-every": *snapshotEvery != 0, "-election-timeout": *electionTimeout != 0,
+		} {
+			if set {
+				return fmt.Errorf("%s requires -peer-addr (replica mode)", flagName)
+			}
+		}
 	}
 
 	var cl *harmony.Cluster
@@ -114,7 +143,43 @@ func run(args []string) error {
 		return err
 	}
 	defer ctrl.Stop()
-	if err := ctrl.Start(); err != nil {
+
+	// In replica mode the controller is a state machine driven by the
+	// replicated log: its own periodic scheduler stays off (mutations may
+	// only enter through committed entries), and the leader re-harmonizes
+	// through replicated clock ticks instead.
+	var rep *harmony.Replica
+	if *peerAddr != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		clientAddr := *advertise
+		if clientAddr == "" {
+			clientAddr = *addr
+		}
+		rep, err = harmony.NewReplica(*peerAddr, harmony.ReplicaConfig{
+			Peers:           peerList,
+			ClientAddr:      clientAddr,
+			Controller:      ctrl,
+			DataDir:         *dataDir,
+			SnapshotEvery:   *snapshotEvery,
+			ElectionTimeout: *electionTimeout,
+			LeaseGrace:      *leaseGrace,
+			Logf:            log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := rep.Close(); cerr != nil {
+				log.Printf("harmonyd: replica close: %v", cerr)
+			}
+		}()
+		log.Printf("harmonyd: replica on %s (%d peer(s))", *peerAddr, len(peerList))
+	} else if err := ctrl.Start(); err != nil {
 		return err
 	}
 	if err := ctrl.Subscribe(func(ev harmony.Event) {
@@ -135,6 +200,7 @@ func run(args []string) error {
 	}
 	srv, err := harmony.ListenAndServe(*addr, harmony.ServerConfig{
 		Controller: ctrl,
+		Replica:    rep,
 		Bus:        bus,
 		Vet:        vetMode,
 		LeaseTTL:   *leaseTTL,
@@ -154,7 +220,10 @@ func run(args []string) error {
 	// The controller runs on virtual time; in the daemon, wall time drives
 	// it one-to-one, which fires periodic re-evaluation and granularity
 	// windows, and polls the cluster sensors ("updates in Harmony are on
-	// the order of seconds not micro-seconds", Section 3.1).
+	// the order of seconds not micro-seconds", Section 3.1). In replica
+	// mode only the leader maps wall time in, and it does so through the
+	// log: Advance replicates the tick so every member's clock moves in
+	// step, and a deposed leader simply stops ticking.
 	stopTicker := make(chan struct{})
 	tickerDone := make(chan struct{})
 	go func() {
@@ -166,6 +235,14 @@ func run(args []string) error {
 			select {
 			case <-ticker.C:
 				now := time.Since(start)
+				if rep != nil {
+					if rep.IsLeader() {
+						if err := rep.Advance(now); err != nil {
+							log.Printf("harmonyd: advance: %v", err)
+						}
+					}
+					continue
+				}
 				clock.AdvanceTo(now)
 				if err := harmony.PollSensors(bus, now, sensors); err != nil {
 					log.Printf("harmonyd: sensors: %v", err)

@@ -48,3 +48,21 @@ func TestResourcesFileErrors(t *testing.T) {
 		t.Fatal("unparsable resources file accepted")
 	}
 }
+
+func TestReplicaFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-peers", "127.0.0.1:9990"},
+		{"-advertise", "127.0.0.1:9989"},
+		{"-data-dir", "/tmp/x"},
+		{"-snapshot-every", "16"},
+		{"-election-timeout", "1s"},
+	} {
+		if err := run(append(args, "-sp2", "1", "-addr", "127.0.0.1:0")); err == nil {
+			t.Errorf("%v without -peer-addr accepted", args[0])
+		}
+	}
+	// An unbindable peer address fails before serving.
+	if err := run([]string{"-sp2", "1", "-addr", "127.0.0.1:0", "-peer-addr", "256.0.0.1:0"}); err == nil {
+		t.Error("bogus -peer-addr accepted")
+	}
+}

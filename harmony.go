@@ -115,6 +115,22 @@ type (
 	AppStatus = protocol.AppStatus
 )
 
+// Replication types (the replicated controller state machine).
+type (
+	// Replica is one member of a replicated controller cluster.
+	Replica = server.Replica
+	// ReplicaConfig parameterizes NewReplica.
+	ReplicaConfig = server.ReplicaConfig
+	// ReplicaStatus is one replica's replication state.
+	ReplicaStatus = protocol.ReplicaStatus
+)
+
+// NewReplica starts a replica listening for peer traffic on peerAddr.
+// Attach it to a client-facing server via ServerConfig.Replica.
+func NewReplica(peerAddr string, cfg ReplicaConfig) (*Replica, error) {
+	return server.NewReplica(peerAddr, cfg)
+}
+
 // Matching and prediction policy types.
 type (
 	// MatchStrategy orders candidate nodes during matching (first-fit,

@@ -170,8 +170,12 @@ type Config struct {
 }
 
 type appState struct {
-	instance     int
-	bundle       *rsl.BundleSpec
+	instance int
+	bundle   *rsl.BundleSpec
+	// source is the RSL text the bundle was decoded from, kept so replicated
+	// snapshots (see apply.go) can rebuild the bundle on a follower. Empty
+	// for bundles registered directly with a decoded spec.
+	source       string
 	choice       Choice
 	assignment   *match.Assignment
 	claim        *resource.Claim
@@ -372,16 +376,23 @@ func (c *Controller) Stop() {
 // The returned events start with the new application's initial
 // configuration, followed by any reconfigurations of existing applications.
 func (c *Controller) Register(bundle *rsl.BundleSpec) (int, []Event, error) {
+	return c.registerAt(bundle, "", c.cfg.Clock.Now())
+}
+
+// registerAt is Register with an explicit decision time and the bundle's
+// RSL source, the deterministic entry point the replication Apply path uses
+// (the entry's virtual time stands in for the local clock).
+func (c *Controller) registerAt(bundle *rsl.BundleSpec, source string, now time.Duration) (int, []Event, error) {
 	if bundle == nil || len(bundle.Options) == 0 {
 		return 0, nil, errors.New("core: bundle with no options")
 	}
 	c.mu.Lock()
 	c.nextInstance++
 	inst := c.nextInstance
-	now := c.cfg.Clock.Now()
 	app := &appState{
 		instance:     inst,
 		bundle:       bundle,
+		source:       source,
 		registeredAt: now,
 		lastSwitch:   -1,
 	}
@@ -440,6 +451,11 @@ func (c *Controller) Register(bundle *rsl.BundleSpec) (int, []Event, error) {
 // Unregister removes an application (harmony_end), releases its resources
 // and re-evaluates the remaining applications.
 func (c *Controller) Unregister(instance int) ([]Event, error) {
+	return c.unregisterAt(instance, c.cfg.Clock.Now())
+}
+
+// unregisterAt is Unregister at an explicit decision time (see registerAt).
+func (c *Controller) unregisterAt(instance int, now time.Duration) ([]Event, error) {
 	c.mu.Lock()
 	app, ok := c.apps[instance]
 	if !ok {
@@ -461,7 +477,6 @@ func (c *Controller) Unregister(instance int) ([]Event, error) {
 			break
 		}
 	}
-	now := c.cfg.Clock.Now()
 	events := c.reevaluateLocked(now, 0)
 	listeners := append([]Listener(nil), c.listeners...)
 	c.mu.Unlock()
@@ -473,8 +488,12 @@ func (c *Controller) Unregister(instance int) ([]Event, error) {
 // Reevaluate runs one pass of the paper's greedy optimization over all
 // registered applications (triggered by events or periodically).
 func (c *Controller) Reevaluate() []Event {
+	return c.reevaluateAt(c.cfg.Clock.Now())
+}
+
+// reevaluateAt is Reevaluate at an explicit decision time (see registerAt).
+func (c *Controller) reevaluateAt(now time.Duration) []Event {
 	c.mu.Lock()
-	now := c.cfg.Clock.Now()
 	events := c.reevaluateLocked(now, 0)
 	listeners := append([]Listener(nil), c.listeners...)
 	c.mu.Unlock()
@@ -593,6 +612,11 @@ func (c *Controller) CurrentChoice(instance int) (Choice, error) {
 // simple rule for changing configurations based on the number of active
 // clients". Forcing the already-active choice is a no-op.
 func (c *Controller) ForceChoice(instance int, ch Choice) (*Event, error) {
+	return c.forceChoiceAt(instance, ch, c.cfg.Clock.Now())
+}
+
+// forceChoiceAt is ForceChoice at an explicit decision time (see registerAt).
+func (c *Controller) forceChoiceAt(instance int, ch Choice, now time.Duration) (*Event, error) {
 	c.mu.Lock()
 	app, ok := c.apps[instance]
 	if !ok {
@@ -607,7 +631,6 @@ func (c *Controller) ForceChoice(instance int, ch Choice) (*Event, error) {
 		c.mu.Unlock()
 		return nil, fmt.Errorf("core: option %q not in bundle %s", ch.Option, app.bundle.Name)
 	}
-	now := c.cfg.Clock.Now()
 	// Evaluate the forced choice hypothetically: the app's claim stays in
 	// place until adoption, which handles release/rollback itself.
 	ctx := c.newEvalContextLocked(app)

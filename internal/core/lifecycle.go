@@ -8,8 +8,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"harmony/internal/resource"
+	"harmony/internal/simclock"
 )
 
 // MarkNodeDown records a machine failure: every claim touching the host is
@@ -18,6 +20,12 @@ import (
 // Evicted event instead of being silently dropped. Idempotent for a node
 // already down.
 func (c *Controller) MarkNodeDown(hostname string) ([]Event, error) {
+	return c.markNodeDownAt(hostname, c.cfg.Clock.Now())
+}
+
+// markNodeDownAt is MarkNodeDown at an explicit decision time, the
+// deterministic entry point the replication Apply path uses.
+func (c *Controller) markNodeDownAt(hostname string, now time.Duration) ([]Event, error) {
 	c.mu.Lock()
 	if err := c.ledger.SetNodeHealth(hostname, resource.HealthDown); err != nil {
 		c.mu.Unlock()
@@ -25,7 +33,6 @@ func (c *Controller) MarkNodeDown(hostname string) ([]Event, error) {
 	}
 	evicted := c.ledger.EvictHost(hostname)
 	affected := c.dropEvictedClaimsLocked(evicted)
-	now := c.cfg.Clock.Now()
 	events := c.reevaluateLocked(now, 0)
 	// Anything still claimless after re-harmonization does not fit on the
 	// survivors: degrade it and tell listeners.
@@ -86,12 +93,16 @@ func (c *Controller) dropEvictedClaimsLocked(evicted []*resource.Claim) []*appSt
 // a feasible alternative exists. Applications with no alternative stay put
 // with a warning — a draining node still works, unlike a down one.
 func (c *Controller) DrainNode(hostname string) ([]Event, error) {
+	return c.drainNodeAt(hostname, c.cfg.Clock.Now())
+}
+
+// drainNodeAt is DrainNode at an explicit decision time (see markNodeDownAt).
+func (c *Controller) drainNodeAt(hostname string, now time.Duration) ([]Event, error) {
 	c.mu.Lock()
 	if err := c.ledger.SetNodeHealth(hostname, resource.HealthDraining); err != nil {
 		c.mu.Unlock()
 		return nil, err
 	}
-	now := c.cfg.Clock.Now()
 	var events []Event
 	for _, id := range append([]int(nil), c.order...) {
 		app, ok := c.apps[id]
@@ -123,12 +134,16 @@ func (c *Controller) DrainNode(hostname string) ([]Event, error) {
 // applications are re-admitted when they now fit, and placed applications
 // may migrate onto the recovered capacity.
 func (c *Controller) MarkNodeUp(hostname string) ([]Event, error) {
+	return c.markNodeUpAt(hostname, c.cfg.Clock.Now())
+}
+
+// markNodeUpAt is MarkNodeUp at an explicit decision time (see markNodeDownAt).
+func (c *Controller) markNodeUpAt(hostname string, now time.Duration) ([]Event, error) {
 	c.mu.Lock()
 	if err := c.ledger.SetNodeHealth(hostname, resource.HealthUp); err != nil {
 		c.mu.Unlock()
 		return nil, err
 	}
-	now := c.cfg.Clock.Now()
 	events := c.reevaluateLocked(now, 0)
 	listeners := append([]Listener(nil), c.listeners...)
 	c.mu.Unlock()
@@ -144,6 +159,10 @@ func (c *Controller) NodeHealth(hostname string) (resource.NodeHealth, error) {
 // Ledger exposes the controller's resource ledger (read-mostly: tests and
 // the chaos harness use it for conservation checking).
 func (c *Controller) Ledger() *resource.Ledger { return c.ledger }
+
+// Clock exposes the controller's virtual clock (the replication layer reads
+// it to stamp log entries with the decision time).
+func (c *Controller) Clock() *simclock.Clock { return c.cfg.Clock }
 
 // claimTouches reports whether a claim reserves anything on host.
 func claimTouches(cl *resource.Claim, host string) bool {

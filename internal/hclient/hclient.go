@@ -18,6 +18,12 @@
 // re-running bundle setup), and falling back to a full replay of the
 // startup/bundle_setup/add_variable handshake when the server's lease grace
 // window has lapsed.
+//
+// Dial accepts a comma-separated list of controller addresses for
+// replicated deployments. The client rotates through them on reconnect, and
+// when a follower rejects a mutation with a not_leader redirect the client
+// transparently re-dials the advertised leader and reissues the request —
+// applications never see the failover.
 package hclient
 
 import (
@@ -26,6 +32,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -48,9 +55,25 @@ var (
 // ServerError carries a server-side rejection.
 type ServerError struct {
 	Reason string
+	// Leader is the leader's advertised address on a not_leader rejection
+	// from a replica follower ("" otherwise).
+	Leader string
 }
 
 func (e *ServerError) Error() string { return "hclient: server: " + e.Reason }
+
+// IsNotLeader reports whether the rejection is a replica follower's
+// redirect.
+func (e *ServerError) IsNotLeader() bool {
+	return strings.HasPrefix(e.Reason, protocol.ErrNotLeader)
+}
+
+// errRedirected marks a connection break forced to chase a leader redirect.
+var errRedirected = errors.New("hclient: redirected to leader")
+
+// maxRedirects bounds leader-chasing per call so a leaderless cluster (or a
+// stale redirect loop) fails instead of spinning.
+const maxRedirects = 4
 
 // DialConfig tunes connection establishment and resilience. The zero value
 // reproduces the historical behavior: 10 s dial timeout, 10 s write
@@ -137,7 +160,7 @@ type varDecl struct {
 
 // Client is one application's connection to the Harmony server.
 type Client struct {
-	addr    string
+	addrs   []string // candidate controller addresses, in dial order
 	cfg     DialConfig
 	writeMu sync.Mutex
 
@@ -168,25 +191,65 @@ type Client struct {
 	reconnecting bool
 	waitCh       chan struct{}
 	stats        Stats
+	// addrIdx is the index of the address currently (or last) in use;
+	// leaderHint, when set, is dialed next regardless of rotation (a
+	// follower's not_leader redirect named it).
+	addrIdx    int
+	leaderHint string
+	// redirecting marks a connection deliberately broken to chase a
+	// not_leader redirect, so connBroken reconnects even for a client that
+	// never completed startup.
+	redirecting bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
-// Dial connects to a Harmony server with default configuration.
+// splitAddrs parses a comma-separated controller address list.
+func splitAddrs(addr string) []string {
+	var out []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Dial connects to a Harmony server with default configuration. addr may be
+// a comma-separated list of controller addresses (a replicated deployment);
+// the first reachable one is used and the rest are rotation candidates for
+// reconnects and leader redirects.
 func Dial(addr string) (*Client, error) {
 	return DialWith(addr, DialConfig{})
 }
 
-// DialWith connects to a Harmony server with explicit configuration.
+// DialWith connects to a Harmony server with explicit configuration. See
+// Dial for multi-address semantics.
 func DialWith(addr string, cfg DialConfig) (*Client, error) {
 	cfg = cfg.withDefaults()
-	nc, err := net.DialTimeout("tcp", addr, cfg.Timeout)
-	if err != nil {
+	addrs := splitAddrs(addr)
+	if len(addrs) == 0 {
+		return nil, errors.New("hclient: no controller address")
+	}
+	var (
+		nc  net.Conn
+		idx int
+		err error
+	)
+	for i, a := range addrs {
+		nc, err = net.DialTimeout("tcp", a, cfg.Timeout)
+		if err == nil {
+			idx = i
+			break
+		}
+	}
+	if nc == nil {
 		return nil, fmt.Errorf("hclient: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		addr:     addr,
+		addrs:    addrs,
+		addrIdx:  idx,
 		cfg:      cfg,
 		netConn:  nc,
 		writer:   protocol.NewWriter(nc),
@@ -249,7 +312,11 @@ func (c *Client) connBroken(gen uint64, err error) {
 	if c.readErr == nil {
 		c.readErr = err
 	}
-	if c.closed || !c.cfg.Reconnect || !c.started {
+	// A never-started client normally dies with its connection (nothing to
+	// restore) — unless a leader redirect broke it on purpose, in which
+	// case the reconnect installs a fresh connection to the leader and the
+	// original call is reissued there.
+	if c.closed || !c.cfg.Reconnect || (!c.started && !c.redirecting) {
 		c.closed = true
 		if c.genCh != nil {
 			close(c.genCh)
@@ -303,6 +370,27 @@ func (c *Client) reconnectLoop() {
 	}
 }
 
+// nextAddr picks the next address to dial: a pending leader redirect wins,
+// otherwise the candidate list is rotated so an unreachable member does not
+// pin the client forever.
+func (c *Client) nextAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hint := c.leaderHint; hint != "" {
+		c.leaderHint = ""
+		// Re-anchor the rotation when the hint is a known member, so the
+		// next plain reconnect starts from the leader's successor.
+		for i, a := range c.addrs {
+			if a == hint {
+				c.addrIdx = i
+			}
+		}
+		return hint
+	}
+	c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
+	return c.addrs[c.addrIdx]
+}
+
 // dialOnce makes one cancellable dial attempt.
 func (c *Client) dialOnce() (net.Conn, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
@@ -315,7 +403,7 @@ func (c *Client) dialOnce() (net.Conn, error) {
 		}
 	}()
 	var d net.Dialer
-	return d.DialContext(ctx, "tcp", c.addr)
+	return d.DialContext(ctx, "tcp", c.nextAddr())
 }
 
 // handshakeTimeout bounds each restore round trip.
@@ -360,8 +448,25 @@ func (c *Client) restoreSession(nc net.Conn) error {
 	token := c.resumeToken
 	appID, useInterrupts := c.appID, c.useInterrupts
 	rslText, registered := c.rslText, c.registered
+	started := c.started
 	decls := append([]varDecl(nil), c.declOrder...)
 	c.mu.Unlock()
+
+	// rejected classifies a non-ack reply: a follower's not_leader redirect
+	// records the advertised leader and fails this attempt so the reconnect
+	// loop re-dials against the hint.
+	rejected := func(reply *protocol.Message) error {
+		if reply.Type == protocol.TypeAck {
+			return nil
+		}
+		if strings.HasPrefix(reply.Error, protocol.ErrNotLeader) {
+			c.mu.Lock()
+			c.leaderHint = reply.Leader
+			c.mu.Unlock()
+			return errRedirected
+		}
+		return &ServerError{Reason: reply.Error, Leader: reply.Leader}
+	}
 
 	resumed := false
 	if token != "" {
@@ -369,18 +474,21 @@ func (c *Client) restoreSession(nc net.Conn) error {
 		if err != nil {
 			return err
 		}
+		if err := rejected(reply); errors.Is(err, errRedirected) {
+			return err
+		}
 		resumed = reply.Type == protocol.TypeAck
-		// A TypeError means the grace window lapsed: fall through to a full
-		// replay on this same connection.
+		// Any other TypeError means the grace window lapsed: fall through to
+		// a full replay on this same connection.
 	}
 	newInstance := 0
-	if !resumed {
+	if !resumed && started {
 		ack, err := roundTrip(&protocol.Message{Type: protocol.TypeStartup, AppID: appID, UseInterrupts: useInterrupts})
 		if err != nil {
 			return err
 		}
-		if ack.Type != protocol.TypeAck {
-			return &ServerError{Reason: ack.Error}
+		if err := rejected(ack); err != nil {
+			return err
 		}
 		token = ack.ResumeToken
 		if registered {
@@ -388,8 +496,8 @@ func (c *Client) restoreSession(nc net.Conn) error {
 			if err != nil {
 				return err
 			}
-			if setup.Type != protocol.TypeAck {
-				return &ServerError{Reason: setup.Error}
+			if err := rejected(setup); err != nil {
+				return err
 			}
 			newInstance = setup.Instance
 			for k, v := range setup.Vars {
@@ -397,7 +505,11 @@ func (c *Client) restoreSession(nc net.Conn) error {
 			}
 		}
 		for _, d := range decls {
-			if _, err := roundTrip(&protocol.Message{Type: protocol.TypeAddVariable, Name: d.name, Value: d.def}); err != nil {
+			reply, err := roundTrip(&protocol.Message{Type: protocol.TypeAddVariable, Name: d.name, Value: d.def})
+			if err != nil {
+				return err
+			}
+			if err := rejected(reply); errors.Is(err, errRedirected) {
 				return err
 			}
 		}
@@ -432,6 +544,7 @@ func (c *Client) restoreSession(nc net.Conn) error {
 		c.stats.Replays++
 	}
 	c.reconnecting = false
+	c.redirecting = false
 	if c.waitCh != nil {
 		close(c.waitCh)
 		c.waitCh = nil
@@ -512,6 +625,7 @@ func (c *Client) applyUpdate(msg *protocol.Message) {
 // progress new calls wait for it; a call whose connection dies mid-flight
 // fails with ErrReconnecting rather than being silently retried.
 func (c *Client) call(msg *protocol.Message) (*protocol.Message, error) {
+	redirects := 0
 	for {
 		c.mu.Lock()
 		if c.closed {
@@ -559,7 +673,20 @@ func (c *Client) call(msg *protocol.Message) (*protocol.Message, error) {
 			return nil, ErrReconnecting
 		}
 		if reply.Type == protocol.TypeError {
-			return nil, &ServerError{Reason: reply.Error}
+			if c.cfg.Reconnect && strings.HasPrefix(reply.Error, protocol.ErrNotLeader) && redirects < maxRedirects {
+				// A follower answered: chase the advertised leader. The
+				// rejected request changed nothing server-side, so reissuing
+				// it on the new connection is safe.
+				redirects++
+				c.mu.Lock()
+				c.leaderHint = reply.Leader
+				c.redirecting = true
+				c.mu.Unlock()
+				_ = nc.Close()
+				c.connBroken(gen, errRedirected)
+				continue
+			}
+			return nil, &ServerError{Reason: reply.Error, Leader: reply.Leader}
 		}
 		return reply, nil
 	}
@@ -755,6 +882,20 @@ func (c *Client) Status() ([]protocol.AppStatus, float64, error) {
 		return nil, 0, err
 	}
 	return reply.Apps, reply.Objective, nil
+}
+
+// ClusterStatus fetches the replication state (role, term, commit index,
+// snapshot age) of the replica this client is connected to. Any role
+// answers; non-replicated servers reject the request.
+func (c *Client) ClusterStatus() (*protocol.ReplicaStatus, error) {
+	reply, err := c.call(&protocol.Message{Type: protocol.TypeClusterStatus})
+	if err != nil {
+		return nil, err
+	}
+	if reply.Replica == nil {
+		return nil, &ServerError{Reason: "cluster_status reply carries no replica state"}
+	}
+	return reply.Replica, nil
 }
 
 // Reevaluate forces an optimizer pass on the server.

@@ -13,6 +13,9 @@
 //     channel, context, or WaitGroup registration).
 //   - protoexhaustive: switches over registered wire-message enums cover
 //     every registered value or carry an explicit non-empty default.
+//   - replaydeterminism: the replicated state-machine apply path reads no
+//     wall clock, uses no math/rand, and makes no map-iteration-order-
+//     dependent writes, so every replica replays the log identically.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite can migrate onto the upstream multichecker
@@ -105,6 +108,7 @@ func Analyzers() []*Analyzer {
 		MemoInvalidation,
 		GoroutineLife,
 		ProtoExhaustive,
+		ReplayDeterminism,
 	}
 }
 

@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ReplayDeterminism proves the replicated state machine replays identically
+// on every replica: inside the apply path — any function whose name begins
+// with "apply" (or is "Apply") and takes a replog.Entry, plus everything it
+// reaches through same-package calls — the analyzer forbids the three
+// nondeterminism sources that would fork follower ledgers from the leader's:
+//
+//   - reading the wall clock (time.Now, time.Since); applied operations must
+//     use the entry's virtual Time,
+//   - math/rand in any form; random values (resume tokens) are minted at
+//     propose time on the leader and carried in the entry,
+//   - writes to variables declared outside a range-over-map loop, whose final
+//     value would depend on Go's randomized iteration order. Writes indexed
+//     by the loop key (out[k] = v), writes to the loop variables themselves,
+//     and appends to a slice the function sorts afterwards are order-free
+//     and exempt.
+var ReplayDeterminism = &Analyzer{
+	Name: "replaydeterminism",
+	Doc:  "the state-machine apply path must be deterministic: no wall clock, no randomness, no map-iteration-order-dependent writes",
+	Run:  runReplayDeterminism,
+}
+
+// isApplyRoot reports whether fd enters the apply path: a function named
+// Apply or apply* with a replog.Entry (or *replog.Entry) parameter.
+func isApplyRoot(pass *Pass, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if name != "Apply" && !strings.HasPrefix(name, "apply") && !strings.HasPrefix(name, "Apply") {
+		return false
+	}
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv := pass.Info.Types[field.Type]; tv.Type != nil && isPkgType(tv.Type, "replog", "Entry") {
+			return true
+		}
+	}
+	return false
+}
+
+// isTimeCall reports a call to time.Now or time.Since.
+func isTimeCall(f *types.Func) bool {
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" {
+		return false
+	}
+	return f.Name() == "Now" || f.Name() == "Since"
+}
+
+// randPkgUse reports whether sel selects through a math/rand package
+// qualifier (covers math/rand and math/rand/v2).
+func randPkgUse(info *types.Info, sel *ast.SelectorExpr) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && strings.HasPrefix(pn.Imported().Path(), "math/rand")
+}
+
+// rootIdent strips index, selector, paren and star layers off an assignment
+// target and returns the base identifier, or nil for unanalyzable targets.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObj reports whether the expression references obj.
+func usesObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if obj == nil || e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+type replayViolation struct {
+	pos  token.Pos
+	desc string
+}
+
+// sortedObjs collects the base objects passed to sort/slices calls anywhere
+// in body: a slice handed to sort.Strings after the loop has a deterministic
+// final order no matter how the loop filled it.
+func sortedObjs(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[qual].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := rootIdent(arg); id != nil {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isAppendCall reports whether e is a call to the append builtin.
+func isAppendCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, builtin := info.Uses[id].(*types.Builtin)
+	return builtin && id.Name == "append"
+}
+
+// mapRangeWrites collects iteration-order-dependent writes in body: targets
+// of assignments (and ++/--) inside a range-over-map whose base variable is
+// declared outside the loop. Two write shapes are order-free and exempt:
+// map-index writes keyed by the loop key (one write per key is the same set
+// of writes in any order), and appends to a slice the function later sorts.
+func mapRangeWrites(pass *Pass, body *ast.BlockStmt) []replayViolation {
+	var out []replayViolation
+	sorted := sortedObjs(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv := pass.Info.Types[rs.X]
+		if tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		loopVars := map[types.Object]bool{}
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					loopVars[obj] = true
+				}
+			}
+		}
+		var keyObj types.Object
+		if id, ok := rs.Key.(*ast.Ident); ok {
+			keyObj = pass.Info.Defs[id]
+		}
+		flag := func(target ast.Expr, appends bool) {
+			if ix, ok := ast.Unparen(target).(*ast.IndexExpr); ok && usesObj(pass.Info, ix.Index, keyObj) {
+				return // out[k] = v: keyed by the loop key, order-free
+			}
+			id := rootIdent(target)
+			if id == nil || id.Name == "_" {
+				return
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				obj = pass.Info.Defs[id] // := defines its targets
+			}
+			if obj == nil || loopVars[obj] {
+				return
+			}
+			if rs.Body.Pos() <= obj.Pos() && obj.Pos() < rs.Body.End() {
+				return // declared inside the loop body: per-iteration
+			}
+			if appends && sorted[obj] {
+				return // append-then-sort: final order is deterministic
+			}
+			out = append(out, replayViolation{id.Pos(),
+				"write to " + id.Name + " inside range over map depends on iteration order"})
+		}
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				appends := len(st.Rhs) == 1 && isAppendCall(pass.Info, st.Rhs[0])
+				for _, lhs := range st.Lhs {
+					flag(lhs, appends)
+				}
+			case *ast.IncDecStmt:
+				flag(st.X, false)
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+func runReplayDeterminism(pass *Pass) error {
+	type funcFacts struct {
+		decl       *ast.FuncDecl
+		callees    []*types.Func
+		violations []replayViolation
+		reachable  bool
+	}
+	facts := map[*types.Func]*funcFacts{}
+	var order []*types.Func
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &funcFacts{decl: fd, reachable: isApplyRoot(pass, fd)}
+			facts[obj] = ff
+			order = append(order, obj)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					callee := calleeFunc(pass.Info, x)
+					if callee == nil {
+						return true
+					}
+					if isTimeCall(callee) {
+						ff.violations = append(ff.violations, replayViolation{x.Pos(),
+							"time." + callee.Name() + " reads the wall clock; use the entry's virtual time"})
+					}
+					if callee.Pkg() == pass.Pkg {
+						ff.callees = append(ff.callees, callee)
+					}
+				case *ast.SelectorExpr:
+					if randPkgUse(pass.Info, x) {
+						ff.violations = append(ff.violations, replayViolation{x.Pos(),
+							"math/rand is nondeterministic; mint random values at propose time and carry them in the entry"})
+					}
+				}
+				return true
+			})
+			ff.violations = append(ff.violations, mapRangeWrites(pass, fd.Body)...)
+		}
+	}
+
+	// Reachability: everything an apply root calls, transitively, within the
+	// package, is on the apply path.
+	for changed := true; changed; {
+		changed = false
+		for _, obj := range order {
+			ff := facts[obj]
+			if !ff.reachable {
+				continue
+			}
+			for _, callee := range ff.callees {
+				if cf, ok := facts[callee]; ok && !cf.reachable {
+					cf.reachable = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, obj := range order {
+		ff := facts[obj]
+		if !ff.reachable {
+			continue
+		}
+		for _, v := range ff.violations {
+			pass.Reportf(v.pos, "%s is on the state-machine apply path: %s", ff.decl.Name.Name, v.desc)
+		}
+	}
+	return nil
+}

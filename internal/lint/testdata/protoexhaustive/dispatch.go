@@ -16,7 +16,7 @@ func wireError(format string) *protocol.Message {
 }
 
 func dispatchSeeded(m *protocol.Message) *protocol.Message {
-	switch m.Type { // want "covers 10 of 14 registered values; missing TypeAck, TypeError, TypeStatusReply, TypeUpdate"
+	switch m.Type { // want "covers 10 of 21 registered values; missing TypeAck, TypeAppendEntries, TypeAppendReply, TypeClusterStatus, TypeClusterStatusReply, TypeError, TypeInstallSnapshot, TypeStatusReply, TypeUpdate, TypeVoteReply, TypeVoteRequest"
 	case protocol.TypeStartup:
 		return ack()
 	case protocol.TypeHeartbeat:

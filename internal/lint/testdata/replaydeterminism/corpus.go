@@ -1,0 +1,93 @@
+// Package corpus exercises the replaydeterminism analyzer: functions on the
+// state-machine apply path (Apply/apply* taking a replog.Entry, plus their
+// same-package callees) must not read the wall clock, use math/rand, or make
+// map-iteration-order-dependent writes.
+package corpus
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"harmony/internal/replog"
+)
+
+type machine struct {
+	vars    map[string]float64
+	applied int
+}
+
+// applyGood is fully deterministic: the entry's virtual time, key-indexed
+// map writes, per-iteration locals, and append-then-sort key collection.
+func (m *machine) applyGood(e *replog.Entry, src map[string]float64) time.Duration {
+	for k, v := range src {
+		scaled := v * 2
+		m.vars[k] = scaled // keyed by the loop key: order-free
+	}
+	keys := make([]string, 0, len(src))
+	for k := range src {
+		keys = append(keys, k) // sorted below: order-free
+	}
+	sort.Strings(keys)
+	m.applied += len(keys)
+	return e.Time
+}
+
+// applyBadClock stamps the apply with the local wall clock, which differs on
+// every replica.
+func (m *machine) applyBadClock(e *replog.Entry) time.Duration {
+	if e.Time == 0 {
+		return time.Since(time.Unix(0, 0)) // want "applyBadClock is on the state-machine apply path: time.Since reads the wall clock"
+	}
+	_ = time.Now() // want "applyBadClock is on the state-machine apply path: time.Now reads the wall clock"
+	return e.Time
+}
+
+// applyBadRand draws randomness during apply; leader and followers diverge.
+func (m *machine) applyBadRand(e *replog.Entry) int {
+	return e.Instance + rand.Intn(4) // want "applyBadRand is on the state-machine apply path: math/rand is nondeterministic"
+}
+
+// applyBadOrder folds map values into outer accumulators in iteration order.
+func (m *machine) applyBadOrder(e *replog.Entry) string {
+	last := ""
+	total := 0.0
+	for k, v := range m.vars {
+		last = k    // want "applyBadOrder is on the state-machine apply path: write to last inside range over map"
+		total += v  // want "applyBadOrder is on the state-machine apply path: write to total inside range over map"
+		m.applied++ // want "applyBadOrder is on the state-machine apply path: write to m inside range over map"
+	}
+	_ = total
+	return last
+}
+
+// applyVia reaches the clock transitively through a same-package callee.
+func (m *machine) applyVia(e *replog.Entry) {
+	m.tick(e)
+}
+
+func (m *machine) tick(e *replog.Entry) {
+	if e.Op == replog.OpReevaluate {
+		_ = time.Now() // want "tick is on the state-machine apply path: time.Now reads the wall clock"
+	}
+}
+
+// sortedKeys appends under a map range but is only called from propose-side
+// code, so it carries no replay obligation.
+func (m *machine) sortedKeys() []string {
+	keys := make([]string, 0, len(m.vars))
+	for k := range m.vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// propose is clock-bound by design — deadlines are leader-local — and its
+// name keeps it off the apply path despite the Entry parameter.
+func (m *machine) propose(e *replog.Entry) time.Duration {
+	deadline := time.Now().Add(time.Second)
+	_ = m.sortedKeys()
+	_ = deadline
+	return e.Time
+}

@@ -11,6 +11,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"harmony/internal/replog"
 )
 
 // DefaultPort is the Harmony server's well-known port.
@@ -44,6 +46,26 @@ const (
 	// TypeNodeState transitions a machine's lifecycle state (harmonyctl
 	// node down|drain|up).
 	TypeNodeState MsgType = "node_state"
+	// TypeClusterStatus asks a replica for its replication state
+	// (harmonyctl cluster status). Answered by leaders and followers alike.
+	TypeClusterStatus MsgType = "cluster_status"
+)
+
+// Replica-to-replica message types: the minimal term-based election and
+// log-shipping protocol (see internal/server/replica.go), carried over the
+// same framing as the client protocol.
+const (
+	// TypeVoteRequest solicits a vote for candidate From in Term.
+	TypeVoteRequest MsgType = "vote_request"
+	// TypeVoteReply answers with Granted.
+	TypeVoteReply MsgType = "vote_reply"
+	// TypeAppendEntries ships log entries (empty = heartbeat) following
+	// (PrevIndex, PrevTerm), with the leader's CommitIndex.
+	TypeAppendEntries MsgType = "append_entries"
+	// TypeAppendReply answers with Success and the follower's MatchIndex.
+	TypeAppendReply MsgType = "append_reply"
+	// TypeInstallSnapshot replaces a lagging follower's state wholesale.
+	TypeInstallSnapshot MsgType = "install_snapshot"
 )
 
 // Server-to-client message types.
@@ -56,7 +78,37 @@ const (
 	TypeUpdate MsgType = "update"
 	// TypeStatusReply carries the controller snapshot.
 	TypeStatusReply MsgType = "status_reply"
+	// TypeClusterStatusReply carries one replica's replication state.
+	TypeClusterStatusReply MsgType = "cluster_status_reply"
 )
+
+// ErrNotLeader is the Error prefix a follower replies to mutating requests
+// with; the Leader field carries the current leader's client address when
+// known, letting clients redirect instead of scanning.
+const ErrNotLeader = "not_leader"
+
+// ReplicaStatus is one replica's replication state (TypeClusterStatusReply).
+type ReplicaStatus struct {
+	// ID identifies the replica (its peer address by default).
+	ID string `json:"id"`
+	// Role is "leader", "follower" or "candidate".
+	Role string `json:"role"`
+	// Term is the replica's current term.
+	Term uint64 `json:"term"`
+	// CommitIndex and LastIndex describe log progress.
+	CommitIndex uint64 `json:"commitIndex"`
+	LastIndex   uint64 `json:"lastIndex"`
+	// SnapshotIndex is the last log index folded into the local snapshot
+	// (0 when none was taken).
+	SnapshotIndex uint64 `json:"snapshotIndex"`
+	// SnapshotAgeSeconds is the wall-clock age of that snapshot, -1 when no
+	// snapshot exists.
+	SnapshotAgeSeconds float64 `json:"snapshotAgeSeconds"`
+	// Leader is the last known leader's client address ("" when unknown).
+	Leader string `json:"leader,omitempty"`
+	// Peers counts configured peer replicas (excluding this one).
+	Peers int `json:"peers"`
+}
 
 // VarValue is a Harmony variable value: a number or a string, matching the
 // namespace's leaf values.
@@ -139,6 +191,37 @@ type Message struct {
 	// State is one of "up", "drain"/"draining", "down".
 	Hostname string `json:"hostname,omitempty"`
 	State    string `json:"state,omitempty"`
+
+	// Replication fields (replica-to-replica messages and cluster status).
+
+	// Term is the sender's current term.
+	Term uint64 `json:"term,omitempty"`
+	// From identifies the sending replica.
+	From string `json:"from,omitempty"`
+	// Leader is the current leader's advertised client address: set on
+	// TypeAppendEntries (so followers can redirect clients) and on
+	// not_leader error replies.
+	Leader string `json:"leader,omitempty"`
+	// PrevIndex/PrevTerm anchor a TypeAppendEntries consistency check;
+	// LastIndex/LastTerm carry a candidate's log position in
+	// TypeVoteRequest and a snapshot's position in TypeInstallSnapshot.
+	PrevIndex uint64 `json:"prevIndex,omitempty"`
+	PrevTerm  uint64 `json:"prevTerm,omitempty"`
+	LastIndex uint64 `json:"lastIndex,omitempty"`
+	LastTerm  uint64 `json:"lastTerm,omitempty"`
+	// CommitIndex is the leader's commit point (TypeAppendEntries).
+	CommitIndex uint64 `json:"commitIndex,omitempty"`
+	// Entries are the shipped log entries (TypeAppendEntries).
+	Entries []replog.Entry `json:"entries,omitempty"`
+	// Granted answers a vote request; Success answers an append.
+	Granted bool `json:"granted,omitempty"`
+	Success bool `json:"success,omitempty"`
+	// MatchIndex is the follower's highest replicated index (TypeAppendReply).
+	MatchIndex uint64 `json:"matchIndex,omitempty"`
+	// Snapshot carries the serialized state machine (TypeInstallSnapshot).
+	Snapshot *replog.Snapshot `json:"snapshot,omitempty"`
+	// Replica carries the replication state (TypeClusterStatusReply).
+	Replica *ReplicaStatus `json:"replica,omitempty"`
 }
 
 // MaxMessageBytes bounds a single wire message.

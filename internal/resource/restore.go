@@ -1,0 +1,79 @@
+package resource
+
+import "fmt"
+
+// RestoreClaim reinstates a claim with its original ID, used when a replica
+// rebuilds its ledger from a replicated snapshot rather than by replaying
+// the Reserve calls that created the claims. Validation matches Reserve
+// (unknown nodes/links and memory over-subscription are rejected) and the
+// claim-ID sequence is raised so later Reserve calls never collide.
+func (l *Ledger) RestoreClaim(c Claim) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if c.ID == 0 {
+		return fmt.Errorf("resource: restore claim: zero id")
+	}
+	if _, ok := l.claims[c.ID]; ok {
+		return fmt.Errorf("resource: restore claim: duplicate id %d", c.ID)
+	}
+	for _, nc := range c.Nodes {
+		e, ok := l.nodes[nc.Hostname]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownNode, nc.Hostname)
+		}
+		if nc.MemoryMB < 0 || nc.CPULoad < 0 {
+			return fmt.Errorf("resource: negative claim on %s", nc.Hostname)
+		}
+		if nc.MemoryMB > e.freeMem {
+			return fmt.Errorf("%w: %s memory (need %g MB, free %g MB)",
+				ErrInsufficient, nc.Hostname, nc.MemoryMB, e.freeMem)
+		}
+	}
+	for _, lc := range c.Links {
+		if _, ok := l.links[LinkKey(lc.A, lc.B)]; !ok {
+			return fmt.Errorf("%w: %s-%s", ErrUnknownLink, lc.A, lc.B)
+		}
+		if lc.BandwidthMbps < 0 {
+			return fmt.Errorf("resource: negative bandwidth claim on %s-%s", lc.A, lc.B)
+		}
+	}
+	l.snapCache = nil
+	for _, nc := range c.Nodes {
+		e := l.nodes[nc.Hostname]
+		e.freeMem -= nc.MemoryMB
+		e.cpuLoad += nc.CPULoad
+	}
+	for _, lc := range c.Links {
+		l.links[LinkKey(lc.A, lc.B)].reserved += lc.BandwidthMbps
+	}
+	cp := c
+	cp.Nodes = append([]NodeClaim(nil), c.Nodes...)
+	cp.Links = append([]LinkClaim(nil), c.Links...)
+	l.claims[cp.ID] = &cp
+	if cp.ID > l.nextID {
+		l.nextID = cp.ID
+	}
+	return nil
+}
+
+// ClaimSeq reports the last claim ID issued, so replicated snapshots can
+// reproduce the exact ID sequence on restore.
+func (l *Ledger) ClaimSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextID
+}
+
+// SetClaimSeq sets the claim-ID sequence to seq so a restored ledger mints
+// exactly the same IDs as its source, clamped so it never drops below an
+// outstanding claim's ID (which would mint colliding IDs).
+func (l *Ledger) SetClaimSeq(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for id := range l.claims {
+		if id > seq {
+			seq = id
+		}
+	}
+	l.nextID = seq
+}

@@ -1,0 +1,97 @@
+package resource
+
+import (
+	"errors"
+	"testing"
+)
+
+func restoreLedger(t *testing.T) *Ledger {
+	t.Helper()
+	l := NewLedger()
+	if err := l.AddNode(Node{Hostname: "a", OS: "linux", Speed: 1, CPUs: 2, MemoryMB: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddNode(Node{Hostname: "b", OS: "linux", Speed: 1, CPUs: 2, MemoryMB: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AddLink(Link{A: "a", B: "b", BandwidthMbps: 100}); err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRestoreClaimReproducesLedger(t *testing.T) {
+	src := restoreLedger(t)
+	c1, err := src.Reserve("app1", []NodeClaim{{Hostname: "a", MemoryMB: 40, CPULoad: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := src.Reserve("app2",
+		[]NodeClaim{{Hostname: "a", MemoryMB: 10}, {Hostname: "b", MemoryMB: 20, CPULoad: 0.5}},
+		[]LinkClaim{{A: "a", B: "b", BandwidthMbps: 30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Release the highest-ID claim so the sequence is ahead of live claims.
+	if err := src.Release(c2.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := restoreLedger(t)
+	for _, c := range src.Claims() {
+		if err := dst.RestoreClaim(*c); err != nil {
+			t.Fatalf("restore claim %d: %v", c.ID, err)
+		}
+	}
+	dst.SetClaimSeq(src.ClaimSeq())
+
+	if got, want := dst.ClaimSeq(), src.ClaimSeq(); got != want {
+		t.Fatalf("claim seq %d, want %d", got, want)
+	}
+	an, err := dst.Node("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.FreeMemoryMB != 60 || an.CPULoad != 1 {
+		t.Fatalf("node a after restore: free %g load %g, want 60/1", an.FreeMemoryMB, an.CPULoad)
+	}
+	if err := dst.CheckConservation(); err != nil {
+		t.Fatalf("conservation after restore: %v", err)
+	}
+	// The next Reserve on both ledgers must mint the same ID.
+	s, err := src.Reserve("next", []NodeClaim{{Hostname: "b", MemoryMB: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dst.Reserve("next", []NodeClaim{{Hostname: "b", MemoryMB: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ID != d.ID {
+		t.Fatalf("post-restore reserve IDs diverge: src %d dst %d", s.ID, d.ID)
+	}
+	_ = c1
+}
+
+func TestRestoreClaimRejectsBad(t *testing.T) {
+	l := restoreLedger(t)
+	if err := l.RestoreClaim(Claim{Owner: "x"}); err == nil {
+		t.Fatal("zero-ID claim accepted")
+	}
+	if err := l.RestoreClaim(Claim{ID: 1, Nodes: []NodeClaim{{Hostname: "ghost", MemoryMB: 1}}}); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown node: %v", err)
+	}
+	if err := l.RestoreClaim(Claim{ID: 1, Nodes: []NodeClaim{{Hostname: "a", MemoryMB: 500}}}); !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("over-memory: %v", err)
+	}
+	if err := l.RestoreClaim(Claim{ID: 1, Nodes: []NodeClaim{{Hostname: "a", MemoryMB: 5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.RestoreClaim(Claim{ID: 1, Nodes: []NodeClaim{{Hostname: "b", MemoryMB: 5}}}); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+	// Failed restores must not leak partial debits.
+	if err := l.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"errors"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/protocol"
+	"harmony/internal/replog"
+	"harmony/internal/simclock"
+)
+
+// testNode is one replica plus its client-facing server for cluster tests.
+type testNode struct {
+	ctrl *core.Controller
+	rep  *Replica
+	srv  *Server
+	dir  string
+	// addresses survive a kill so the node can be restarted in place.
+	peerAddr   string
+	clientAddr string
+	peers      []string
+	grace      time.Duration
+	snapEvery  int
+}
+
+// electionT is deliberately short so failover tests run in tens of
+// milliseconds; the 10ms election ticker still resolves it cleanly.
+const electionT = 80 * time.Millisecond
+
+// startNode boots (or reboots) one cluster member on its pinned addresses.
+func (n *testNode) start(t *testing.T) {
+	t.Helper()
+	cl, err := cluster.NewSP2(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ctrl, err = core.New(core.Config{Cluster: cl, Clock: simclock.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.rep, err = NewReplica(n.peerAddr, ReplicaConfig{
+		ID:                n.peerAddr,
+		Peers:             n.peers,
+		ClientAddr:        n.clientAddr,
+		Controller:        n.ctrl,
+		DataDir:           n.dir,
+		ElectionTimeout:   electionT,
+		HeartbeatInterval: electionT / 4,
+		SnapshotEvery:     n.snapEvery,
+		LeaseGrace:        n.grace,
+	})
+	if err != nil {
+		t.Fatalf("NewReplica(%s): %v", n.peerAddr, err)
+	}
+	ln, err := net.Listen("tcp", n.clientAddr)
+	if err != nil {
+		t.Fatalf("client listen %s: %v", n.clientAddr, err)
+	}
+	n.srv, err = Serve(ln, Config{Controller: n.ctrl, Replica: n.rep, LeaseGrace: n.grace})
+	if err != nil {
+		t.Fatalf("Serve(%s): %v", n.clientAddr, err)
+	}
+}
+
+// kill stops the node abruptly (crash simulation: no graceful handover).
+func (n *testNode) kill() {
+	if n.srv != nil {
+		_ = n.srv.Close()
+		n.srv = nil
+	}
+	if n.rep != nil {
+		_ = n.rep.Close()
+		n.rep = nil
+	}
+	if n.ctrl != nil {
+		n.ctrl.Stop()
+	}
+}
+
+// startTestCluster boots size replicas with pinned peer/client addresses
+// (pre-bound ephemeral ports) so any member can be killed and restarted.
+func startTestCluster(t *testing.T, size int, grace time.Duration, snapEvery int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, size)
+	peerAddrs := make([]string, size)
+	for i := range nodes {
+		nodes[i] = &testNode{
+			dir:       t.TempDir(),
+			grace:     grace,
+			snapEvery: snapEvery,
+		}
+		// Reserve ephemeral ports by binding and releasing; the node rebinds
+		// the same address when it starts.
+		for _, addr := range []*string{&nodes[i].peerAddr, &nodes[i].clientAddr} {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			*addr = ln.Addr().String()
+			_ = ln.Close()
+		}
+		peerAddrs[i] = nodes[i].peerAddr
+	}
+	for i, n := range nodes {
+		for j, addr := range peerAddrs {
+			if j != i {
+				n.peers = append(n.peers, addr)
+			}
+		}
+		n.start(t)
+	}
+	t.Cleanup(func() {
+		for _, n := range nodes {
+			n.kill()
+		}
+	})
+	return nodes
+}
+
+// waitLeader blocks until exactly one live node leads and returns it.
+func waitLeader(t *testing.T, nodes []*testNode) *testNode {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var leader *testNode
+		for _, n := range nodes {
+			if n.rep != nil && n.rep.IsLeader() {
+				leader = n
+			}
+		}
+		if leader != nil {
+			return leader
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no leader elected")
+	return nil
+}
+
+// waitTrue polls cond until it holds or the deadline lapses.
+func waitTrue(t *testing.T, within time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stateJSON fingerprints a node's replicated controller state.
+func stateJSON(t *testing.T, n *testNode) string {
+	t.Helper()
+	data, err := n.ctrl.EncodeState()
+	if err != nil {
+		t.Fatalf("EncodeState: %v", err)
+	}
+	return string(data)
+}
+
+// dialNode opens a raw protocol session to a node's client port.
+func dialNode(t *testing.T, n *testNode) *protoSession {
+	t.Helper()
+	conn, err := net.Dial("tcp", n.clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &protoSession{conn: conn}
+}
+
+func TestReplicatedRegisterPropagates(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2*time.Second, 0)
+	leader := waitLeader(t, nodes)
+
+	p := dialNode(t, leader)
+	ack := p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	if ack.ResumeToken == "" {
+		t.Fatal("replicated startup ack carries no resume token")
+	}
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	if setup.Instance == 0 {
+		t.Fatalf("bundle_setup ack = %+v", setup)
+	}
+	if len(setup.Vars) == 0 {
+		t.Fatal("bundle_setup ack carries no initial configuration")
+	}
+
+	// Every replica applies the committed registration and lands on the
+	// same controller state, byte for byte.
+	waitTrue(t, 3*time.Second, "followers to converge", func() bool {
+		want := stateJSON(t, nodes[0])
+		for _, n := range nodes[1:] {
+			if len(n.ctrl.Apps()) != 1 || stateJSON(t, n) != want {
+				return false
+			}
+		}
+		return len(nodes[0].ctrl.Apps()) == 1
+	})
+	for _, n := range nodes {
+		if err := n.ctrl.Ledger().CheckConservation(); err != nil {
+			t.Fatalf("conservation on %s: %v", n.peerAddr, err)
+		}
+	}
+}
+
+func TestFollowerRedirectsMutations(t *testing.T) {
+	nodes := startTestCluster(t, 3, 2*time.Second, 0)
+	leader := waitLeader(t, nodes)
+	var follower *testNode
+	for _, n := range nodes {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+	waitTrue(t, 3*time.Second, "follower to learn the leader", func() bool {
+		return follower.rep.LeaderClient() == leader.clientAddr
+	})
+
+	conn, err := net.Dial("tcp", follower.clientAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	w, r := protocol.NewWriter(conn), protocol.NewReader(conn)
+	if err := w.Write(&protocol.Message{Type: protocol.TypeStartup, Seq: 1, AppID: "app"}); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	reply, err := r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeError || !strings.Contains(reply.Error, protocol.ErrNotLeader) {
+		t.Fatalf("follower mutation reply = %+v, want %s error", reply, protocol.ErrNotLeader)
+	}
+	if reply.Leader != leader.clientAddr {
+		t.Fatalf("redirect leader = %q, want %q", reply.Leader, leader.clientAddr)
+	}
+
+	// Reads are still served locally.
+	if err := w.Write(&protocol.Message{Type: protocol.TypeStatus, Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeStatusReply {
+		t.Fatalf("follower status reply = %+v", reply)
+	}
+
+	// cluster_status works on any role.
+	if err := w.Write(&protocol.Message{Type: protocol.TypeClusterStatus, Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = r.Read()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != protocol.TypeClusterStatusReply || reply.Replica == nil {
+		t.Fatalf("cluster_status reply = %+v", reply)
+	}
+	if reply.Replica.Role != roleFollower || reply.Replica.Leader != leader.clientAddr {
+		t.Fatalf("follower cluster status = %+v", reply.Replica)
+	}
+}
+
+func TestLeaderFailoverPreservesSession(t *testing.T) {
+	nodes := startTestCluster(t, 3, 3*time.Second, 0)
+	leader := waitLeader(t, nodes)
+
+	p := dialNode(t, leader)
+	ack := p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	p.call(t, &protocol.Message{Type: protocol.TypeAddVariable, Name: "tunable", Value: protocol.NumVar(7)})
+
+	survivors := make([]*testNode, 0, 2)
+	for _, n := range nodes {
+		if n != leader {
+			survivors = append(survivors, n)
+		}
+	}
+	// Wait for the registration to replicate, then crash the leader.
+	waitTrue(t, 3*time.Second, "registration to replicate", func() bool {
+		for _, n := range survivors {
+			if len(n.ctrl.Apps()) != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	leader.kill()
+
+	next := waitLeader(t, survivors)
+	// The client reconnects to the new leader and resumes mid-session: its
+	// instance and declared variables crossed the failover.
+	p2 := dialNode(t, next)
+	rack := p2.call(t, &protocol.Message{Type: protocol.TypeResume, ResumeToken: ack.ResumeToken})
+	if len(rack.Instances) != 1 || rack.Instances[0] != setup.Instance {
+		t.Fatalf("post-failover resume instances = %v, want [%d]", rack.Instances, setup.Instance)
+	}
+	for _, n := range survivors {
+		if err := n.ctrl.Ledger().CheckConservation(); err != nil {
+			t.Fatalf("conservation after failover: %v", err)
+		}
+	}
+	// The resumed connection owns the instance: a replicated end works and
+	// drains both survivors.
+	p2.call(t, &protocol.Message{Type: protocol.TypeEnd, Instance: setup.Instance})
+	waitTrue(t, 3*time.Second, "end to replicate", func() bool {
+		for _, n := range survivors {
+			if len(n.ctrl.Apps()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestFailoverExpiresUnresumedSessions(t *testing.T) {
+	nodes := startTestCluster(t, 3, 200*time.Millisecond, 0)
+	leader := waitLeader(t, nodes)
+
+	p := dialNode(t, leader)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+
+	survivors := make([]*testNode, 0, 2)
+	for _, n := range nodes {
+		if n != leader {
+			survivors = append(survivors, n)
+		}
+	}
+	waitTrue(t, 3*time.Second, "registration to replicate", func() bool {
+		for _, n := range survivors {
+			if len(n.ctrl.Apps()) != 1 {
+				return false
+			}
+		}
+		return true
+	})
+	leader.kill()
+	waitLeader(t, survivors)
+
+	// Nobody resumes: the new leader's grace window lapses and the orphaned
+	// session's resources are released cluster-wide.
+	waitTrue(t, 5*time.Second, "orphaned session to expire", func() bool {
+		for _, n := range survivors {
+			if len(n.ctrl.Apps()) != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	for _, n := range survivors {
+		if err := n.ctrl.Ledger().CheckConservation(); err != nil {
+			t.Fatalf("conservation after expiry: %v", err)
+		}
+	}
+}
+
+func TestFollowerCrashRecovery(t *testing.T) {
+	// Small snapshot interval so the restart exercises snapshot + log tail.
+	nodes := startTestCluster(t, 3, 2*time.Second, 8)
+	leader := waitLeader(t, nodes)
+	var follower *testNode
+	for _, n := range nodes {
+		if n != leader {
+			follower = n
+			break
+		}
+	}
+
+	p := dialNode(t, leader)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	churn := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+			p.call(t, &protocol.Message{Type: protocol.TypeEnd, Instance: setup.Instance})
+		}
+	}
+	churn(5)
+
+	commitBefore := leader.rep.Status().CommitIndex
+	waitTrue(t, 3*time.Second, "follower to catch up pre-crash", func() bool {
+		return follower.rep.Status().CommitIndex >= commitBefore
+	})
+	follower.kill()
+
+	// The cluster keeps committing through the remaining majority.
+	churn(5)
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+
+	// Restart the follower in place from its data dir: it recovers the
+	// snapshot + log tail, then the leader ships what it missed.
+	follower.start(t)
+	want := leader.rep.Status().CommitIndex
+	waitTrue(t, 5*time.Second, "restarted follower to catch up", func() bool {
+		return follower.rep.Status().CommitIndex >= want &&
+			stateJSON(t, follower) == stateJSON(t, leader)
+	})
+	if err := follower.ctrl.Ledger().CheckConservation(); err != nil {
+		t.Fatalf("conservation on recovered follower: %v", err)
+	}
+	if got := len(follower.ctrl.Apps()); got != 1 {
+		t.Fatalf("recovered follower apps = %d, want 1", got)
+	}
+	_ = setup
+}
+
+func TestSingleNodeClusterCommitsAlone(t *testing.T) {
+	nodes := startTestCluster(t, 1, time.Second, 0)
+	leader := waitLeader(t, nodes)
+	p := dialNode(t, leader)
+	p.call(t, &protocol.Message{Type: protocol.TypeStartup, AppID: "DBclient"})
+	setup := p.call(t, &protocol.Message{Type: protocol.TypeBundleSetup, RSL: dbRSL})
+	if setup.Instance != 1 {
+		t.Fatalf("instance = %d", setup.Instance)
+	}
+	st := leader.rep.Status()
+	if st.Role != roleLeader || st.CommitIndex == 0 {
+		t.Fatalf("single-node status = %+v", st)
+	}
+}
+
+func TestProposeOnFollowerReturnsNotLeader(t *testing.T) {
+	nodes := startTestCluster(t, 3, time.Second, 0)
+	leader := waitLeader(t, nodes)
+	for _, n := range nodes {
+		if n == leader {
+			continue
+		}
+		// Followers learn the leader's client address from its first
+		// heartbeat; wait for it before expecting a redirect target.
+		waitTrue(t, 3*time.Second, "follower to learn the leader", func() bool {
+			return n.rep.LeaderClient() == leader.clientAddr
+		})
+		_, _, err := n.rep.Propose(&replog.Entry{Op: replog.OpReevaluate})
+		var nl *ErrNotLeader
+		if !errors.As(err, &nl) {
+			t.Fatalf("follower Propose error = %v, want ErrNotLeader", err)
+		}
+		if nl.LeaderClient != leader.clientAddr {
+			t.Fatalf("LeaderClient = %q, want %q", nl.LeaderClient, leader.clientAddr)
+		}
+	}
+}
+
+// TestReplicationDocInSync keeps docs/REPLICATION.md honest: the replica
+// entry points, operating knobs and chaos-replay affordances it
+// describes must be the ones that exist.
+func TestReplicationDocInSync(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "REPLICATION.md"))
+	if err != nil {
+		t.Fatalf("docs/REPLICATION.md missing: %v", err)
+	}
+	for _, sym := range []string{
+		"NewReplica", "Apply", "Advance", "replog.Entry",
+		"append_entries", "install_snapshot", "not_leader",
+		"SnapshotEvery", "DataDir", "LeaseGrace", "OpSessionExpire",
+		"ClusterStatus", "cluster status", "CheckConservation",
+		"peer-addr", "data-dir", "replaydeterminism",
+		"TestSoakReplicatedLeaderKill", "TestFollowerCrashRecovery",
+		"CHAOS_SEED", "make chaos",
+	} {
+		if !strings.Contains(string(doc), sym) {
+			t.Errorf("docs/REPLICATION.md does not mention %s", sym)
+		}
+	}
+}

@@ -1,0 +1,279 @@
+// Replicated request handling: the conn-side bridge between the client
+// protocol and the replicated log. Every ledger-mutating request becomes a
+// proposed replog.Entry; the reply is built from the committed apply result,
+// so a client ack means the operation survives leader failure. Followers
+// answer mutations with a not_leader redirect carrying the leader's client
+// address.
+
+package server
+
+import (
+	"errors"
+	"sort"
+
+	"harmony/internal/protocol"
+	"harmony/internal/replog"
+	"harmony/internal/resource"
+	"harmony/internal/rsl"
+)
+
+// notLeaderReply converts a Propose error into the client-visible reply; a
+// not_leader error additionally carries the leader's address for redirects.
+func notLeaderReply(err error) *protocol.Message {
+	m := errReply("%v", err)
+	var nl *ErrNotLeader
+	if errors.As(err, &nl) {
+		m.Leader = nl.LeaderClient
+	}
+	return m
+}
+
+// handleReplicated serves one message in replica mode. It reports handled
+// false for request types whose legacy handling is already replication-safe
+// (reads, heartbeats, metric reports).
+func (c *conn) handleReplicated(r *Replica, msg *protocol.Message) (*protocol.Message, bool) {
+	switch msg.Type {
+	case protocol.TypeClusterStatus:
+		// Answered by any role: operators ask followers directly.
+		st := r.Status()
+		return &protocol.Message{Type: protocol.TypeClusterStatusReply, Replica: &st}, true
+
+	case protocol.TypeStartup:
+		if msg.AppID == "" {
+			return errReply("startup requires appId"), true
+		}
+		// The token is minted here — at propose time, on the leader — so the
+		// log entry (and thus every replica's session table) carries it
+		// without any randomness on the apply path.
+		token := newResumeToken()
+		if _, _, err := r.Propose(&replog.Entry{Op: replog.OpSessionStart, Token: token, AppID: msg.AppID}); err != nil {
+			return notLeaderReply(err), true
+		}
+		c.mu.Lock()
+		c.appID = msg.AppID
+		c.resumeToken = token
+		c.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, AppID: msg.AppID, ResumeToken: token}, true
+
+	case protocol.TypeResume:
+		return c.handleReplicatedResume(r, msg), true
+
+	case protocol.TypeBundleSetup:
+		return c.handleReplicatedBundleSetup(r, msg), true
+
+	case protocol.TypeAddVariable:
+		if msg.Name == "" {
+			return errReply("add_variable requires a name"), true
+		}
+		c.mu.Lock()
+		token := c.resumeToken
+		c.mu.Unlock()
+		if token != "" {
+			e := &replog.Entry{
+				Op: replog.OpSessionVar, Token: token, Name: msg.Name,
+				NumValue: msg.Value.Num, StrValue: msg.Value.Str, IsString: msg.Value.IsString,
+			}
+			if _, _, err := r.Propose(e); err != nil {
+				return notLeaderReply(err), true
+			}
+		}
+		c.mu.Lock()
+		c.variables[msg.Name] = msg.Value
+		c.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, Name: msg.Name}, true
+
+	case protocol.TypeEnd:
+		c.mu.Lock()
+		known := c.instances[msg.Instance]
+		c.mu.Unlock()
+		if !known {
+			return errReply("end: instance %d not owned by this connection", msg.Instance), true
+		}
+		if _, _, err := r.Propose(&replog.Entry{Op: replog.OpUnregister, Instance: msg.Instance}); err != nil {
+			var nl *ErrNotLeader
+			if errors.As(err, &nl) {
+				return notLeaderReply(err), true
+			}
+			return errReply("end: %v", err), true
+		}
+		c.mu.Lock()
+		delete(c.instances, msg.Instance)
+		c.mu.Unlock()
+		c.srv.mu.Lock()
+		delete(c.srv.byInst, msg.Instance)
+		delete(c.srv.pending, msg.Instance)
+		c.srv.mu.Unlock()
+		return &protocol.Message{Type: protocol.TypeAck, Instance: msg.Instance}, true
+
+	case protocol.TypeNodeState:
+		if msg.Hostname == "" {
+			return errReply("node_state requires a hostname"), true
+		}
+		h, err := resource.ParseNodeHealth(msg.State)
+		if err != nil {
+			return errReply("node_state: %v", err), true
+		}
+		if _, _, err := r.Propose(&replog.Entry{Op: replog.OpNodeState, Hostname: msg.Hostname, State: h.String()}); err != nil {
+			var nl *ErrNotLeader
+			if errors.As(err, &nl) {
+				return notLeaderReply(err), true
+			}
+			return errReply("node_state: %v", err), true
+		}
+		c.srv.cfg.Logf("harmony: node %s marked %s by %s", msg.Hostname, h, c.netConn.RemoteAddr())
+		return &protocol.Message{Type: protocol.TypeAck, Hostname: msg.Hostname, State: h.String()}, true
+
+	case protocol.TypeReevaluate:
+		if _, _, err := r.Propose(&replog.Entry{Op: replog.OpReevaluate}); err != nil {
+			return notLeaderReply(err), true
+		}
+		return &protocol.Message{Type: protocol.TypeAck}, true
+
+	default:
+		// Reads and connection-local types fall through to the legacy
+		// switch, whose default answers unknown types with a wire error.
+		return nil, false
+	}
+}
+
+// handleReplicatedBundleSetup admits a bundle through the log. Vetting and
+// parsing run locally first (rejections need no quorum); the registration
+// itself carries the RSL text so every replica re-derives the same choice.
+func (c *conn) handleReplicatedBundleSetup(r *Replica, msg *protocol.Message) *protocol.Message {
+	if reply := c.vetBundle(msg.RSL); reply != nil {
+		return reply
+	}
+	bundles, _, err := rsl.DecodeScript(msg.RSL)
+	if err != nil {
+		return errReply("bundle_setup: %v", err)
+	}
+	if len(bundles) != 1 {
+		return errReply("bundle_setup: expected exactly one harmonyBundle, got %d", len(bundles))
+	}
+	c.mu.Lock()
+	token := c.resumeToken
+	c.mu.Unlock()
+	res, _, err := r.Propose(&replog.Entry{Op: replog.OpRegister, RSL: msg.RSL, Token: token})
+	if err != nil {
+		var nl *ErrNotLeader
+		if errors.As(err, &nl) {
+			return notLeaderReply(err)
+		}
+		return errReply("bundle_setup: %v", err)
+	}
+	return c.ackBundleSetup(res.Instance, res.Events)
+}
+
+// handleReplicatedResume re-binds a replicated session to this connection.
+// The resume is itself a log entry, so the new leader's session table —
+// rebuilt from the log or a snapshot — answers with the same instances and
+// variables the old leader held.
+func (c *conn) handleReplicatedResume(r *Replica, msg *protocol.Message) *protocol.Message {
+	token := msg.ResumeToken
+	if token == "" {
+		return errReply("resume requires a resumeToken")
+	}
+	_, rec, err := r.Propose(&replog.Entry{Op: replog.OpSessionResume, Token: token})
+	if err != nil {
+		var nl *ErrNotLeader
+		if errors.As(err, &nl) {
+			return notLeaderReply(err)
+		}
+		return errReply("resume: %v", err)
+	}
+	if rec == nil {
+		return errReply("resume: unknown or expired token")
+	}
+	r.cancelGraceTimer(token)
+	s := c.srv
+	// A pre-failover connection may still nominally hold the session: strip
+	// it so its eventual cleanup finds nothing to park.
+	s.mu.Lock()
+	for oc := range s.conns {
+		if oc == c {
+			continue
+		}
+		oc.mu.Lock()
+		if oc.resumeToken == token {
+			oc.instances = make(map[int]bool)
+			oc.variables = make(map[string]protocol.VarValue)
+			oc.resumeToken = ""
+		}
+		oc.mu.Unlock()
+	}
+	s.mu.Unlock()
+	c.mu.Lock()
+	c.appID = rec.AppID
+	c.resumeToken = token
+	for _, id := range rec.Instances {
+		c.instances[id] = true
+	}
+	for k, v := range rec.Vars {
+		if _, exists := c.variables[k]; !exists {
+			c.variables[k] = v
+		}
+	}
+	c.mu.Unlock()
+	s.mu.Lock()
+	for _, id := range rec.Instances {
+		s.byInst[id] = c
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("harmony: %s: resumed session %.8s (%d instance(s))", c.netConn.RemoteAddr(), token, len(rec.Instances))
+	// Reconfigurations that landed while the client was away are flushed
+	// now; clients must tolerate updates arriving before the resume ack.
+	if !s.cfg.ManualFlush {
+		for _, id := range rec.Instances {
+			s.FlushPendingVars(id)
+		}
+	}
+	return &protocol.Message{Type: protocol.TypeAck, ResumeToken: token, Instances: rec.Instances}
+}
+
+// cleanupReplicated handles a dying connection in replica mode. Instances
+// are never unregistered directly — that would mutate the ledger off-log.
+// The leader parks the session and arms a grace timer whose expiry proposes
+// the replicated end; a follower (or a deposed leader) does nothing, because
+// the real leader's grace timers own every replicated session.
+func (c *conn) cleanupReplicated(r *Replica, instances []int, token string) {
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	for _, id := range instances {
+		if s.byInst[id] == c {
+			delete(s.byInst, id)
+		}
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	_ = c.netConn.Close()
+	if closed || !r.IsLeader() {
+		return
+	}
+	if token == "" {
+		// No session to park (the client never finished startup): end any
+		// registrations outright.
+		sort.Ints(instances)
+		for _, id := range instances {
+			if _, _, err := r.Propose(&replog.Entry{Op: replog.OpUnregister, Instance: id}); err != nil {
+				s.cfg.Logf("harmony: unregister %d on disconnect: %v", id, err)
+			}
+		}
+		return
+	}
+	if _, ok := r.sessions.get(token); !ok {
+		return // already expired or resumed elsewhere
+	}
+	if _, _, err := r.Propose(&replog.Entry{Op: replog.OpSessionPark, Token: token}); err != nil {
+		s.cfg.Logf("harmony: park session %.8s: %v", token, err)
+		return
+	}
+	if s.cfg.LeaseGrace > 0 || r.cfg.LeaseGrace > 0 {
+		r.armGraceTimer(token)
+		s.cfg.Logf("harmony: %s: parked session %.8s for %v", c.netConn.RemoteAddr(), token, r.graceDuration())
+	} else {
+		// No grace configured: end the session now. Propose is bounded, and
+		// this runs on the dying connection's serve goroutine.
+		r.expireSession(token)
+	}
+}

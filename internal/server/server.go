@@ -92,6 +92,13 @@ type Config struct {
 	// that reconnects and presents its resume token within the grace window
 	// gets its instances back without re-running bundle setup.
 	LeaseGrace time.Duration
+	// Replica, when set, routes every ledger-mutating request through the
+	// replicated log instead of calling the controller directly: mutations
+	// are proposed, committed on a majority and applied deterministically,
+	// so a follower can take over with an identical ledger. Followers
+	// answer mutations with a not_leader redirect. Reads (status, report,
+	// heartbeat) stay local.
+	Replica *Replica
 	// Logf logs server events; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -186,6 +193,9 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 		_ = ln.Close()
 		return nil, err
 	}
+	if cfg.Replica != nil {
+		cfg.Replica.attach(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	if cfg.LeaseTTL > 0 {
@@ -254,6 +264,38 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// hasLiveSession reports whether some open connection currently holds the
+// session token (the replica's failover grace logic must not expire a
+// session a client already resumed).
+func (s *Server) hasLiveSession(token string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c := range s.conns {
+		c.mu.Lock()
+		match := c.resumeToken == token
+		c.mu.Unlock()
+		if match {
+			return true
+		}
+	}
+	return false
+}
+
+// closeClientConns drops every client connection without shutting the
+// server down. The replica calls it on leader step-down: clients notice the
+// break and their reconnect logic rotates them onto the new leader.
+func (s *Server) closeClientConns() {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		_ = c.netConn.Close()
+	}
 }
 
 func (s *Server) acceptLoop() {
@@ -408,6 +450,10 @@ func (c *conn) cleanup() {
 	appID := c.appID
 	variables := c.variables
 	c.mu.Unlock()
+	if r := s.cfg.Replica; r != nil {
+		c.cleanupReplicated(r, instances, token)
+		return
+	}
 	s.mu.Lock()
 	delete(s.conns, c)
 	for _, id := range instances {
@@ -465,6 +511,14 @@ func errReply(format string, args ...any) *protocol.Message {
 }
 
 func (c *conn) handle(msg *protocol.Message) *protocol.Message {
+	// In a replicated deployment every mutation goes through the log; only
+	// reads and connection-local bookkeeping fall through to the legacy
+	// switch below.
+	if r := c.srv.cfg.Replica; r != nil {
+		if reply, handled := c.handleReplicated(r, msg); handled {
+			return reply
+		}
+	}
 	switch msg.Type {
 	case protocol.TypeStartup:
 		if msg.AppID == "" {
@@ -550,6 +604,9 @@ func (c *conn) handle(msg *protocol.Message) *protocol.Message {
 	case protocol.TypeReevaluate:
 		c.srv.cfg.Controller.Reevaluate()
 		return &protocol.Message{Type: protocol.TypeAck}
+
+	case protocol.TypeClusterStatus:
+		return errReply("cluster_status: this server is not replicated")
 
 	default:
 		// Server-originated types (ack, error, status_reply, update) are not
@@ -658,8 +715,29 @@ func (c *conn) handleNodeState(msg *protocol.Message) *protocol.Message {
 }
 
 func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
+	if reply := c.vetBundle(msg.RSL); reply != nil {
+		return reply
+	}
+	bundles, _, err := rsl.DecodeScript(msg.RSL)
+	if err != nil {
+		return errReply("bundle_setup: %v", err)
+	}
+	if len(bundles) != 1 {
+		return errReply("bundle_setup: expected exactly one harmonyBundle, got %d", len(bundles))
+	}
+	inst, events, err := c.srv.cfg.Controller.Register(bundles[0])
+	if err != nil {
+		return errReply("bundle_setup: %v", err)
+	}
+	return c.ackBundleSetup(inst, events)
+}
+
+// vetBundle statically analyzes an incoming spec per the configured vet
+// mode, returning a non-nil rejection reply when the bundle must not be
+// admitted.
+func (c *conn) vetBundle(src string) *protocol.Message {
 	if c.srv.cfg.Vet != VetOff {
-		rep := vet.Script(msg.RSL, vet.Options{
+		rep := vet.Script(src, vet.Options{
 			ExtraNodes: c.srv.cfg.Controller.ClusterNodes(),
 		})
 		for _, d := range rep.Diags {
@@ -677,7 +755,7 @@ func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
 		if admitted := c.srv.cfg.Controller.Bundles(); len(admitted) > 0 {
 			specs = append(specs, vet.WorkloadSpec{File: "admitted", Bundles: admitted})
 		}
-		specs = append(specs, vet.WorkloadSpec{File: "incoming", Src: msg.RSL})
+		specs = append(specs, vet.WorkloadSpec{File: "incoming", Src: src})
 		wrep := vet.Workload(specs, vet.Options{
 			ExtraNodes: c.srv.cfg.Controller.ClusterNodes(),
 		})
@@ -690,17 +768,13 @@ func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
 			}
 		}
 	}
-	bundles, _, err := rsl.DecodeScript(msg.RSL)
-	if err != nil {
-		return errReply("bundle_setup: %v", err)
-	}
-	if len(bundles) != 1 {
-		return errReply("bundle_setup: expected exactly one harmonyBundle, got %d", len(bundles))
-	}
-	inst, events, err := c.srv.cfg.Controller.Register(bundles[0])
-	if err != nil {
-		return errReply("bundle_setup: %v", err)
-	}
+	return nil
+}
+
+// ackBundleSetup binds a fresh instance to this connection and builds the
+// registration ack, folding the initial configuration into it so the
+// application can start without waiting for a separate update.
+func (c *conn) ackBundleSetup(inst int, events []core.Event) *protocol.Message {
 	c.mu.Lock()
 	c.instances[inst] = true
 	c.mu.Unlock()
@@ -708,8 +782,6 @@ func (c *conn) handleBundleSetup(msg *protocol.Message) *protocol.Message {
 	c.srv.byInst[inst] = c
 	c.srv.mu.Unlock()
 
-	// The initial configuration rides back on the ack so the application
-	// can start without waiting for a separate update.
 	var initialVars map[string]protocol.VarValue
 	for _, ev := range events {
 		if ev.Instance == inst {

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"harmony/internal/protocol"
+)
+
+// sessionRecord is one client session's replicated state: the resume token,
+// bound instances and declared variables that must survive leader failover
+// so a reconnecting client resumes against the new leader exactly as it
+// would have against the old one.
+type sessionRecord struct {
+	Token     string                       `json:"token"`
+	AppID     string                       `json:"appId"`
+	Instances []int                        `json:"instances,omitempty"`
+	Vars      map[string]protocol.VarValue `json:"vars,omitempty"`
+	// Parked marks a session whose connection dropped; its lease-grace
+	// window runs on the current leader's wall clock.
+	Parked bool `json:"parked,omitempty"`
+}
+
+func (r *sessionRecord) clone() *sessionRecord {
+	cp := &sessionRecord{Token: r.Token, AppID: r.AppID, Parked: r.Parked}
+	cp.Instances = append([]int(nil), r.Instances...)
+	if r.Vars != nil {
+		cp.Vars = make(map[string]protocol.VarValue, len(r.Vars))
+		for k, v := range r.Vars {
+			cp.Vars[k] = v
+		}
+	}
+	return cp
+}
+
+// sessionTable is the replicated session state, mutated only by applied log
+// entries so every replica holds the same table. All methods called from
+// the apply path are deterministic (no clocks, no randomness, no
+// map-iteration-order-dependent results).
+type sessionTable struct {
+	mu sync.Mutex
+	m  map[string]*sessionRecord
+}
+
+func newSessionTable() *sessionTable {
+	return &sessionTable{m: make(map[string]*sessionRecord)}
+}
+
+// start records a fresh session (OpSessionStart).
+func (t *sessionTable) start(token, appID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[token]; ok {
+		return fmt.Errorf("server: session %s already exists", token)
+	}
+	t.m[token] = &sessionRecord{Token: token, AppID: appID}
+	return nil
+}
+
+// setVar records a declared variable (OpSessionVar).
+func (t *sessionTable) setVar(token, name string, v protocol.VarValue) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return fmt.Errorf("server: unknown session %s", token)
+	}
+	if rec.Vars == nil {
+		rec.Vars = make(map[string]protocol.VarValue)
+	}
+	rec.Vars[name] = v
+	return nil
+}
+
+// bind attaches a registered instance to a session (OpRegister apply).
+func (t *sessionTable) bind(token string, instance int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return
+	}
+	for _, id := range rec.Instances {
+		if id == instance {
+			return
+		}
+	}
+	rec.Instances = append(rec.Instances, instance)
+	sort.Ints(rec.Instances)
+}
+
+// unbindInstance detaches an instance from whichever session holds it
+// (OpUnregister apply).
+func (t *sessionTable) unbindInstance(instance int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rec := range t.m {
+		for i, id := range rec.Instances {
+			if id == instance {
+				rec.Instances = append(rec.Instances[:i], rec.Instances[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// park marks a session disconnected (OpSessionPark).
+func (t *sessionTable) park(token string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return fmt.Errorf("server: unknown session %s", token)
+	}
+	rec.Parked = true
+	return nil
+}
+
+// resume re-activates a session (OpSessionResume) and returns a copy for
+// the leader to rebind onto the resuming connection.
+func (t *sessionTable) resume(token string) (*sessionRecord, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown or expired session")
+	}
+	rec.Parked = false
+	return rec.clone(), nil
+}
+
+// expire removes a session (OpSessionExpire) and returns the instances the
+// applier must unregister, in sorted order.
+func (t *sessionTable) expire(token string) ([]int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return nil, false
+	}
+	delete(t.m, token)
+	return rec.Instances, true
+}
+
+// get returns a copy of one session.
+func (t *sessionTable) get(token string) (*sessionRecord, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.m[token]
+	if !ok {
+		return nil, false
+	}
+	return rec.clone(), true
+}
+
+// tokens lists all session tokens, sorted (used by a new leader to arm
+// grace timers after failover).
+func (t *sessionTable) tokens() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.m))
+	for tok := range t.m {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// snapshot serializes the table deterministically (sorted by token).
+func (t *sessionTable) snapshot() []sessionRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]sessionRecord, 0, len(t.m))
+	for _, rec := range t.m {
+		out = append(out, *rec.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Token < out[j].Token })
+	return out
+}
+
+// restore replaces the table wholesale (snapshot install).
+func (t *sessionTable) restore(recs []sessionRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = make(map[string]*sessionRecord, len(recs))
+	for i := range recs {
+		rec := recs[i]
+		t.m[rec.Token] = rec.clone()
+	}
+}

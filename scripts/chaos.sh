@@ -1,15 +1,24 @@
 #!/bin/sh
-# Chaos soak gate: replay the seeded fault-injection soak across a fixed
-# seed matrix. Every run must hold ledger conservation and converge; a
-# failure prints the CHAOS_SEED that reproduces it.
+# Chaos soak gate: replay the seeded fault-injection soaks across a fixed
+# seed matrix. Each seed runs every TestSoak* scenario:
 #
-#   CHAOS_SEEDS="1 2 3"  override the seed matrix
-#   CHAOS_RACE=1         also run each seed under the race detector
+#   TestSoakChurnWithNodeFailures    single server, client churn + node kills
+#   TestSoakReplicatedLeaderKill     3-replica cluster, leader killed
+#                                    mid-churn and restarted from its durable
+#                                    log (failover + follower crash recovery)
+#
+# Every run must hold ledger conservation and converge; a failure prints
+# the CHAOS_SEED that reproduces it.
+#
+#   CHAOS_SEEDS="1 2 3"       override the seed matrix
+#   CHAOS_RUN=TestSoakRepl    override the test pattern (default TestSoak)
+#   CHAOS_RACE=1              also run each seed under the race detector
 set -eu
 
 cd "$(dirname "$0")/.."
 
 seeds="${CHAOS_SEEDS:-1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20}"
+run="${CHAOS_RUN:-TestSoak}"
 race_flag=""
 if [ "${CHAOS_RACE:-0}" = "1" ]; then
 	race_flag="-race"
@@ -17,10 +26,10 @@ fi
 
 failed=""
 for seed in $seeds; do
-	echo "== chaos soak CHAOS_SEED=$seed"
+	echo "== chaos soak CHAOS_SEED=$seed ($run)"
 	# shellcheck disable=SC2086 # race_flag is intentionally empty or one flag
-	if ! CHAOS_SEED="$seed" go test $race_flag -count=1 -run TestSoak ./internal/chaos/; then
-		echo "chaos.sh: FAILED at CHAOS_SEED=$seed (replay: CHAOS_SEED=$seed go test -count=1 -run TestSoak ./internal/chaos/)" >&2
+	if ! CHAOS_SEED="$seed" go test $race_flag -count=1 -run "$run" ./internal/chaos/; then
+		echo "chaos.sh: FAILED at CHAOS_SEED=$seed (replay: CHAOS_SEED=$seed go test -count=1 -run $run ./internal/chaos/)" >&2
 		failed="$failed $seed"
 	fi
 done
